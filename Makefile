@@ -1,0 +1,37 @@
+# Convenience targets for the reproduction.
+
+PY ?= python
+
+.PHONY: install test test-fast bench bench-quick experiments report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow" -x -q
+
+bench:           ## full-size: regenerates every table/figure into results/
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_QUICK=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:     ## same data via the CLI
+	$(PY) -m repro.harness.cli --all --out results/
+
+report:          ## rebuild EXPERIMENTS.md from results/
+	$(PY) -m repro.harness.report results EXPERIMENTS.md
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/sensor_swarm_census.py
+	$(PY) examples/adversary_gallery.py
+	$(PY) examples/bandwidth_budget.py
+	$(PY) examples/consensus_under_churn.py
+
+clean:
+	rm -rf build *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,23 @@
+"""Bench: regenerate F1 (log-log scaling exponents) from the T1 runs.
+
+Shares the T1 measurement pass (the expensive part) and times the full
+measure+fit pipeline; asserts the reproduction's headline shape — the
+baselines carry an ``Ω(N)`` term (exponent ≳ 1) while the core
+algorithms do not (exponent near 0).
+"""
+
+from repro.harness.experiments import run_f1
+
+
+def test_f1_regenerate(benchmark, quick, persist):
+    result = benchmark.pedantic(run_f1, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    persist(result)
+    slopes = {r["algorithm"]: r["exponent_b"] for r in result.rows}
+    assert slopes["klo_count"] > 1.5, "KLO must scale ~quadratically"
+    assert slopes["token_dissemination_knownN"] > 0.8, \
+        "token dissemination must carry an Omega(N)-ish term"
+    assert slopes["exact_count_ours"] < 0.6, \
+        "core exact Count must have no Omega(N) term on low-d dynamics"
+    assert slopes["approx_count_ours"] < 0.6, \
+        "core approx Count must have no Omega(N) term on low-d dynamics"

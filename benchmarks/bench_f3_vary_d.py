@@ -1,0 +1,14 @@
+"""Bench: regenerate F3 rounds-vs-diameter figure (experiment f3 of DESIGN.md §3).
+
+Runs the harness experiment once under pytest-benchmark timing and
+persists the table/figure artefacts to `results/f3/`.
+"""
+
+from repro.harness.experiments import run_f3
+
+
+def test_f3_regenerate(benchmark, quick, persist):
+    result = benchmark.pedantic(run_f3, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    persist(result)
+    assert result.rows, "experiment produced no rows"

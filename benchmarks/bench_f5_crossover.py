@@ -1,0 +1,20 @@
+"""Bench: regenerate F5 (crossover points) from the T1 measurements.
+
+Asserts the reproduction's "who wins where": the calibrated core-Count
+model crosses below both baselines at small N.
+"""
+
+from repro.harness.experiments import run_f5
+
+
+def test_f5_regenerate(benchmark, quick, persist):
+    result = benchmark.pedantic(run_f5, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    persist(result)
+    by_baseline = {r["baseline"]: r for r in result.rows}
+    klo_x = by_baseline["klo_count"]["crossover_N_predicted"]
+    flood_x = by_baseline["flooding_knownN"]["crossover_N_predicted"]
+    assert klo_x is not None and klo_x <= 64, \
+        "ours must beat Theta(N^2) KLO by N<=64"
+    assert flood_x is not None and flood_x <= 1024, \
+        "ours must beat Theta(N) flooding within the simulated range"

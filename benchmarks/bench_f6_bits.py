@@ -1,0 +1,14 @@
+"""Bench: regenerate F6 bit-complexity figure (experiment f6 of DESIGN.md §3).
+
+Runs the harness experiment once under pytest-benchmark timing and
+persists the table/figure artefacts to `results/f6/`.
+"""
+
+from repro.harness.experiments import run_f6
+
+
+def test_f6_regenerate(benchmark, quick, persist):
+    result = benchmark.pedantic(run_f6, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    persist(result)
+    assert result.rows, "experiment produced no rows"

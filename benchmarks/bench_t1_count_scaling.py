@@ -1,0 +1,14 @@
+"""Bench: regenerate T1 headline Count-scaling table (experiment t1 of DESIGN.md §3).
+
+Runs the harness experiment once under pytest-benchmark timing and
+persists the table/figure artefacts to `results/t1/`.
+"""
+
+from repro.harness.experiments import run_t1
+
+
+def test_t1_regenerate(benchmark, quick, persist):
+    result = benchmark.pedantic(run_t1, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    persist(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,19 @@
+"""Bench: regenerate X1, the cost-of-halting ladder (extension, DESIGN S8).
+
+Asserts the ladder ordering at the largest measured size: stabilizing
+O(d) < halting-whp O(N) < halting-deterministic Theta(N^2).
+"""
+
+from repro.harness.experiments import run_x1
+
+
+def test_x1_regenerate(benchmark, quick, persist):
+    result = benchmark.pedantic(run_x1, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    persist(result)
+    n_max = max(r["n"] for r in result.rows)
+    at_max = {r["algorithm"]: r["rounds"] for r in result.rows
+              if r["n"] == n_max}
+    assert (at_max["exact_count_stabilizing"]
+            < at_max["hybrid_count_halting_whp"]
+            < at_max["klo_halting_deterministic"])

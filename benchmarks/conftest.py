@@ -1,0 +1,49 @@
+"""Benchmark fixtures.
+
+Every experiment bench runs the corresponding harness experiment exactly
+once under pytest-benchmark timing (``pedantic(rounds=1)``) and persists
+the rendered report + raw rows under ``results/`` so the artefacts exist
+even when pytest captures stdout.  Set ``REPRO_BENCH_QUICK=1`` to run the
+shrunken experiment sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.io import save_experiment
+
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(__file__)), "results"),
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def quick() -> bool:
+    return QUICK
+
+
+@pytest.fixture
+def persist(results_dir):
+    """Save an ExperimentResult and echo a short summary line."""
+
+    def _persist(result: ExperimentResult) -> ExperimentResult:
+        path = save_experiment(result, results_dir)
+        print(f"\n[{result.exp_id}] {result.title} -> {path}")
+        for text in result.tables.values():
+            print(text)
+        return result
+
+    return _persist

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Adversary gallery: how topology dynamics shape information flow.
+
+Floods a single token from node 0 under every adversary in the zoo,
+reporting the measured flooding time next to the exact dynamic diameter,
+and certifying each schedule's T-interval promise with the verifier.
+The adaptive PathHider demonstrates the ``Ω(N)`` worst case: even though
+the topology is "just" a path that changes every round, it throttles the
+flood to exactly one new node per round.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+import numpy as np
+
+from repro import RngRegistry, Simulator
+from repro.analysis import render_table
+from repro.baselines import FloodToken
+from repro.dynamics import (
+    AlternatingMatchingsAdversary,
+    EdgeChurnAdversary,
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    PathHiderAdversary,
+    RepairedMobilityAdversary,
+    StaticAdversary,
+    build_topology,
+    dynamic_diameter,
+    line_graph,
+    random_tree_graph,
+    verify_t_interval_connectivity,
+)
+
+N, SEED = 80, 3
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    gallery = {
+        "static line (T=all)": (StaticAdversary(N, line_graph(N)), None),
+        "static expander (T=all)": (
+            StaticAdversary(N, build_topology("expander", N, rng)), None),
+        "fresh random path (T=1)": (FreshSpanningAdversary(N, seed=SEED), 1),
+        "overlap handoff (T=4)": (
+            OverlapHandoffAdversary(N, 4, seed=SEED), 4),
+        "alternating ring (T=2)": (AlternatingMatchingsAdversary(N), 2),
+        "edge churn (T=all)": (
+            EdgeChurnAdversary(N, random_tree_graph(N, rng), seed=SEED),
+            None),
+        "repaired mobility (T=2)": (
+            RepairedMobilityAdversary(N, T=2, seed=SEED), 2),
+        "adaptive path hider (T=1)": (PathHiderAdversary(N), 1),
+    }
+
+    rows = []
+    for name, (schedule, T) in gallery.items():
+        nodes = [FloodToken(i, informed=(i == 0)) for i in range(N)]
+        sim = Simulator(schedule, nodes, rng=RngRegistry(SEED))
+        result = sim.run(max_rounds=4 * N, until="decided")
+        flood_rounds = result.metrics.last_decision_round
+
+        if isinstance(schedule, PathHiderAdversary):
+            # Adaptive: certify the schedule it actually produced.
+            realized = schedule.to_explicit()
+            ok, _ = verify_t_interval_connectivity(
+                realized, 1, horizon=result.rounds)
+            d = None  # d is a property of the realised run, = flood time
+        else:
+            ok, _ = verify_t_interval_connectivity(
+                schedule, T or 1, horizon=3 * N)
+            d = dynamic_diameter(schedule)
+
+        rows.append({
+            "adversary": name,
+            "promise_T": T if T is not None else "all",
+            "promise_ok": ok,
+            "dynamic_diameter_d": d,
+            "flood_rounds_from_node0": flood_rounds,
+        })
+
+    print(render_table(rows, title=f"Flooding one token across {N} nodes"))
+    print("\nNote how the adaptive path hider forces N-1 rounds while the "
+          "equally 'dynamic' fresh-random adversary floods in O(log N): "
+          "the dynamic diameter d, not N, is what governs information "
+          "flow — the quantity the paper's bounds are parameterised by.")
+
+
+if __name__ == "__main__":
+    main()

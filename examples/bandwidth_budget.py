@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Bandwidth budgets: counting when messages are a few words wide.
+
+The full exponential sketch needs ``Θ(ε⁻²)`` words per message; real
+radios might fit only a handful.  This example runs the pipelined
+variants (time-division multiplexing vs greedy recency scheduling) across
+word budgets on a static line — the hardest pipelining topology — and
+prints the rounds/bandwidth trade-off, alongside the analytic TDM bound
+``d·⌈k/w⌉``.
+
+Run:  python examples/bandwidth_budget.py
+"""
+
+from repro import RngRegistry, Simulator
+from repro.analysis import render_table, tdm_rounds_bound
+from repro.core import PipelinedApproxCount
+from repro.dynamics import StaticAdversary, dynamic_diameter, line_graph
+
+N, WIDTH, SEED = 64, 40, 11
+
+
+def main() -> None:
+    schedule = StaticAdversary(N, line_graph(N))
+    d = dynamic_diameter(schedule)
+    print(f"static line, N={N}, d={d}, sketch width k={WIDTH}\n")
+
+    rows = []
+    for words in [1, 2, 4, 8, 20, 40]:
+        for strategy in ["tdm", "greedy"]:
+            nodes = [
+                PipelinedApproxCount(i, words_per_message=words,
+                                     width=WIDTH, strategy=strategy)
+                for i in range(N)
+            ]
+            sim = Simulator(schedule, nodes, rng=RngRegistry(SEED))
+            result = sim.run(max_rounds=100_000, until="quiescent",
+                             quiescence_window=4 * nodes[0].cycle)
+            est = result.unanimous_output()
+            rows.append({
+                "words/msg": words,
+                "strategy": strategy,
+                "decision_rounds": result.metrics.last_decision_round,
+                "tdm_bound": tdm_rounds_bound(d, WIDTH, words),
+                "estimate": round(est, 1),
+                "rel_err_%": round(abs(est / N - 1) * 100, 1),
+            })
+    print(render_table(rows, title="rounds vs per-message word budget"))
+    print("\nGreedy pipelining rides improvements down the line like a "
+          "wavefront, approaching d + k/w instead of TDM's d * k/w.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Schedule combinators: composing certified dynamics.
+
+Shows how the combinators in ``repro.dynamics.combinators`` build new
+adversaries whose T-interval promise follows from their parts — and
+machine-checks each claim with the verifier:
+
+* ``dilate`` turns a maximally churning 1-interval adversary into an
+  s-interval one (the tool behind custom T-sweeps);
+* ``union_schedules`` overlays dynamics (promises strengthen);
+* ``concatenate`` splices regimes (a calm prefix, then heavy churn);
+* ``relabel`` makes the isomorphism-invariance of the algorithms
+  directly observable.
+
+Run:  python examples/schedule_combinators.py
+"""
+
+import numpy as np
+
+from repro import RngRegistry, Simulator
+from repro.analysis import render_table
+from repro.core import ExactCount
+from repro.dynamics import (
+    FreshSpanningAdversary,
+    StaticAdversary,
+    concatenate,
+    dilate,
+    dynamic_diameter,
+    line_graph,
+    relabel,
+    union_schedules,
+    verify_t_interval_connectivity,
+)
+
+N, SEED = 64, 9
+
+
+def count_rounds(schedule):
+    nodes = [ExactCount(i) for i in range(N)]
+    result = Simulator(schedule, nodes, rng=RngRegistry(SEED)).run(
+        max_rounds=20_000, until="quiescent", quiescence_window=64)
+    assert result.unanimous_output() == N
+    return result.metrics.last_decision_round
+
+
+def main() -> None:
+    fresh = FreshSpanningAdversary(N, seed=SEED)        # T = 1
+    line = StaticAdversary(N, line_graph(N))            # T = all
+
+    rows = []
+    for name, schedule, T in [
+        ("fresh (T=1)", fresh, 1),
+        ("dilate(fresh, 4) (T=4)", dilate(fresh, 4), 4),
+        ("union(line, fresh)", union_schedules(line, fresh), 1),
+        ("concat(line 20r, fresh) (T=2 seam)",
+         concatenate(line, 20, fresh, T=2), 1),
+        ("relabel(line)", relabel(line, np.random.default_rng(0)
+                                  .permutation(N)), 1),
+    ]:
+        ok, _ = verify_t_interval_connectivity(schedule, T, horizon=80)
+        rows.append({
+            "schedule": name,
+            "promise_verified": ok,
+            "dynamic_diameter": dynamic_diameter(schedule),
+            "exact_count_rounds": count_rounds(schedule),
+        })
+    print(render_table(rows, title=f"composed schedules over N={N} nodes"))
+    print("\nNote: union with the fresh adversary collapses the line's "
+          "diameter (and the algorithm's rounds with it); dilation "
+          "preserves the low diameter while granting a T=4 promise.")
+
+
+if __name__ == "__main__":
+    main()

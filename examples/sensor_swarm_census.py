@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Domain scenario: census + health max over a mobile sensor swarm.
+
+The motivating setting for T-interval dynamic networks: radio-equipped
+sensors drift through an area, their unit-disk connectivity changing
+continuously; a maintenance backbone guarantees T-interval connectivity.
+The operators want every sensor to learn (a) approximately how many
+sensors are still alive (census, without any pre-shared knowledge of the
+fleet size) and (b) the maximum battery level in the swarm (so the best-
+provisioned node can be elected for uplink duty) — both in time
+proportional to the *information diameter* of the swarm, not its size.
+
+Run:  python examples/sensor_swarm_census.py
+"""
+
+import numpy as np
+
+from repro import RngRegistry, Simulator
+from repro.core import ApproxCount, SublinearMax
+from repro.dynamics import (
+    RepairedMobilityAdversary,
+    dynamic_diameter,
+    verify_t_interval_connectivity,
+)
+
+N, T, SEED = 150, 3, 7
+
+
+def main() -> None:
+    swarm = RepairedMobilityAdversary(N, T=T, radius=0.22, seed=SEED)
+    ok, _ = verify_t_interval_connectivity(swarm, T, horizon=120)
+    d = dynamic_diameter(swarm)
+    print(f"swarm of {N} sensors, T={T}: promise verified={ok}, d={d}")
+
+    pos = swarm.positions(1)
+    print(f"initial bounding box: x in [{pos[:,0].min():.2f}, "
+          f"{pos[:,0].max():.2f}], y in [{pos[:,1].min():.2f}, "
+          f"{pos[:,1].max():.2f}]")
+
+    # --- census: approximate count, eps=25% with 95% confidence -----------
+    nodes = [ApproxCount(i, eps=0.25, delta=0.05) for i in range(N)]
+    result = Simulator(swarm, nodes, rng=RngRegistry(SEED)).run(
+        max_rounds=20_000, until="quiescent", quiescence_window=64)
+    est = result.unanimous_output()
+    print(f"census: every sensor estimates fleet size ~= {est:.1f} "
+          f"(true {N}, error {abs(est/N-1)*100:.1f}%), "
+          f"decided by round {result.metrics.last_decision_round}; "
+          f"messages were {nodes[0].sketch.width} floats "
+          f"({nodes[0].sketch.message_bits()} bits) — independent of N")
+
+    # --- uplink election: max battery --------------------------------------
+    rng = np.random.default_rng(SEED)
+    battery = rng.integers(10, 101, size=N)  # percent
+    nodes = [SublinearMax(i, (int(battery[i]), i)) for i in range(N)]
+    result = Simulator(swarm, nodes, rng=RngRegistry(SEED + 1)).run(
+        max_rounds=20_000, until="quiescent", quiescence_window=64)
+    level, owner = result.unanimous_output()
+    print(f"uplink election: sensor {owner} wins with battery {level}% "
+          f"(true max {battery.max()}%), decided by round "
+          f"{result.metrics.last_decision_round} (~3d = {3*d})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — reproduction of "Achieving Sublinear Complexity under Constant T
+in T-interval Dynamic Networks" (Hou, Jahja, Sun, Wu, Yu; SPAA 2022).
+
+The package is organised as (see DESIGN.md for the full inventory):
+
+* :mod:`repro.simnet` — the lock-step dynamic-network simulator;
+* :mod:`repro.dynamics` — topologies, T-interval adversaries, promise
+  verification, dynamic-diameter computation;
+* :mod:`repro.baselines` — prior-work algorithms (flooding,
+  Kuhn–Lynch–Oshman counting, token dissemination);
+* :mod:`repro.core` — the paper's (reconstructed) sublinear Count / Max /
+  Consensus algorithms for constant T;
+* :mod:`repro.analysis` — complexity predictors, fits, tables, plots;
+* :mod:`repro.harness` — experiment runner regenerating every table and
+  figure of the (reconstructed) evaluation.
+
+Quickstart::
+
+    from repro import Simulator, RngRegistry
+    from repro.dynamics import OverlapHandoffAdversary
+    from repro.core import SublinearMax
+
+    n, T = 64, 2
+    sched = OverlapHandoffAdversary(n, T, seed=1)
+    nodes = [SublinearMax(i, value=i * 7 % 101) for i in range(n)]
+    result = Simulator(sched, nodes, rng=RngRegistry(1)).run(
+        max_rounds=10_000, until="quiescent", quiescence_window=32)
+    print(result.unanimous_output(), result.rounds)
+"""
+
+from .errors import (
+    ReproError,
+    ConfigurationError,
+    ScheduleError,
+    IntervalConnectivityError,
+    SimulationError,
+    BandwidthExceededError,
+    NotTerminatedError,
+    IncorrectOutputError,
+)
+from .simnet import (
+    Simulator,
+    RunResult,
+    Algorithm,
+    RoundContext,
+    RngRegistry,
+    TraceRecorder,
+)
+from .api import solve, SolveResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ScheduleError",
+    "IntervalConnectivityError",
+    "SimulationError",
+    "BandwidthExceededError",
+    "NotTerminatedError",
+    "IncorrectOutputError",
+    "Simulator",
+    "RunResult",
+    "Algorithm",
+    "RoundContext",
+    "RngRegistry",
+    "TraceRecorder",
+    "solve",
+    "SolveResult",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Shared argument-validation helpers.
+
+Small, dependency-free checks used across the package so that invalid
+parameters fail fast with uniform, greppable error messages.  Every helper
+returns the validated (possibly normalised) value so call sites can write
+``self.n = require_positive_int(n, "n")``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+from .errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is an ``int`` >= 1 and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def require_nonnegative_int(value: int, name: str) -> int:
+    """Validate that *value* is an ``int`` >= 0 and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_int_in_range(value: int, name: str, lo: int, hi: int) -> int:
+    """Validate that *value* is an ``int`` in ``[lo, hi]`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if not (lo <= value <= hi):
+        raise ConfigurationError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that *value* is a float in ``[0, 1]`` and return it."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a float in [0, 1]") from None
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def require_positive_float(value: float, name: str) -> float:
+    """Validate that *value* is a finite float > 0 and return it."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a positive float") from None
+    if not (value > 0.0) or value != value or value in (float("inf"),):
+        raise ConfigurationError(f"{name} must be a finite float > 0, got {value}")
+    return value
+
+
+def require_choice(value: T, name: str, choices: Sequence[T]) -> T:
+    """Validate that *value* is one of *choices* and return it."""
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {list(choices)!r}, got {value!r}"
+        )
+    return value
+
+
+def require_node_ids(ids: Iterable[int], name: str = "node ids") -> tuple[int, ...]:
+    """Validate a collection of distinct, non-negative node ids.
+
+    Returns the ids as a sorted tuple.
+    """
+    out = tuple(sorted(ids))
+    if not out:
+        raise ConfigurationError(f"{name} must be non-empty")
+    seen: set[int] = set()
+    for i in out:
+        if isinstance(i, bool) or not isinstance(i, int):
+            raise ConfigurationError(f"{name} must be ints, got {type(i).__name__}")
+        if i < 0:
+            raise ConfigurationError(f"{name} must be >= 0, got {i}")
+        if i in seen:
+            raise ConfigurationError(f"{name} contains duplicate id {i}")
+        seen.add(i)
+    return out

@@ -1,0 +1,109 @@
+"""Statistical comparison of algorithms across replicate runs.
+
+T2/T3-style tables report per-algorithm means; when two variants are
+close, the evaluation needs a defensible statement about whether the
+difference is real.  This module provides the two standard tools:
+
+* :func:`mann_whitney` — the non-parametric Mann–Whitney U test on two
+  replicate samples (rounds are discrete and skewed, so rank-based
+  beats a t-test here);
+* :func:`bootstrap_diff_ci` — a seeded percentile-bootstrap confidence
+  interval for the difference of means (effect *size*, which a p-value
+  alone does not give);
+* :func:`compare` — both at once, flattened into a results row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .._validate import require_positive_int, require_probability
+
+__all__ = ["Comparison", "mann_whitney", "bootstrap_diff_ci", "compare"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing samples A and B (e.g. rounds of two variants).
+
+    ``diff_*`` fields describe ``mean(A) - mean(B)``: negative means A is
+    faster/smaller.  ``significant`` applies the caller's alpha to the
+    Mann–Whitney p-value.
+    """
+
+    mean_a: float
+    mean_b: float
+    diff: float
+    diff_ci_low: float
+    diff_ci_high: float
+    u_statistic: float
+    p_value: float
+    significant: bool
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten for results tables."""
+        return {
+            "mean_a": self.mean_a,
+            "mean_b": self.mean_b,
+            "diff": self.diff,
+            "diff_ci": f"[{self.diff_ci_low:.4g}, {self.diff_ci_high:.4g}]",
+            "p_value": self.p_value,
+            "significant": self.significant,
+        }
+
+
+def _clean(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError(f"{name} needs at least 2 replicates, got {arr.size}")
+    return arr
+
+
+def mann_whitney(a: Sequence[float],
+                 b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann–Whitney U test; returns ``(U, p_value)``."""
+    from scipy.stats import mannwhitneyu
+
+    arr_a, arr_b = _clean(a, "a"), _clean(b, "b")
+    result = mannwhitneyu(arr_a, arr_b, alternative="two-sided")
+    return float(result.statistic), float(result.pvalue)
+
+
+def bootstrap_diff_ci(a: Sequence[float], b: Sequence[float],
+                      confidence: float = 0.95, resamples: int = 10_000,
+                      seed: int = 0) -> Tuple[float, float]:
+    """Percentile bootstrap CI for ``mean(a) - mean(b)`` (seeded)."""
+    require_probability(confidence, "confidence")
+    require_positive_int(resamples, "resamples")
+    arr_a, arr_b = _clean(a, "a"), _clean(b, "b")
+    rng = np.random.default_rng(seed)
+    idx_a = rng.integers(0, arr_a.size, size=(resamples, arr_a.size))
+    idx_b = rng.integers(0, arr_b.size, size=(resamples, arr_b.size))
+    diffs = arr_a[idx_a].mean(axis=1) - arr_b[idx_b].mean(axis=1)
+    lo = float(np.quantile(diffs, (1 - confidence) / 2))
+    hi = float(np.quantile(diffs, 1 - (1 - confidence) / 2))
+    return lo, hi
+
+
+def compare(a: Sequence[float], b: Sequence[float], alpha: float = 0.05,
+            confidence: float = 0.95, resamples: int = 10_000,
+            seed: int = 0) -> Comparison:
+    """Full comparison of replicate samples A and B (see module docs)."""
+    require_probability(alpha, "alpha")
+    arr_a, arr_b = _clean(a, "a"), _clean(b, "b")
+    u, p = mann_whitney(arr_a, arr_b)
+    lo, hi = bootstrap_diff_ci(arr_a, arr_b, confidence=confidence,
+                               resamples=resamples, seed=seed)
+    return Comparison(
+        mean_a=float(arr_a.mean()),
+        mean_b=float(arr_b.mean()),
+        diff=float(arr_a.mean() - arr_b.mean()),
+        diff_ci_low=lo,
+        diff_ci_high=hi,
+        u_statistic=u,
+        p_value=p,
+        significant=bool(p < alpha),
+    )

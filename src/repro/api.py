@@ -1,0 +1,167 @@
+"""One-call facade over the library.
+
+For users who want answers rather than protocol plumbing::
+
+    from repro.api import solve
+    from repro.dynamics import OverlapHandoffAdversary
+
+    net = OverlapHandoffAdversary(100, T=2, seed=1)
+    print(solve("count", net).output)                      # 100
+    print(solve("max", net, inputs=range(100)).output)     # 99
+    print(solve("consensus", net, inputs=["a"] * 100).output)
+
+``solve`` picks the right core algorithm, runs the simulator with sane
+stop conditions, validates unanimity, and returns a :class:`SolveResult`
+with the answer and the complexity accounting.  Three knowledge modes:
+
+* ``mode="stabilizing"`` (default) — zero knowledge; measures the round
+  of the last final decision;
+* ``mode="known_bound"`` — pass ``rounds_bound`` (a known upper bound on
+  the dynamic diameter) for a truly halting run;
+* ``mode="approx"`` (Count/Sum/Mean only) — sketch-based, pass
+  ``eps``/``delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ._validate import require_choice, require_positive_int
+from .errors import ConfigurationError
+from .simnet.engine import Simulator
+from .simnet.metrics import RunMetrics
+from .simnet.rng import RngRegistry
+from .core.approx_count import ApproxCount
+from .core.consensus import ConsensusKnownBound, SublinearConsensus
+from .core.exact_count import ExactCount, ExactCountKnownBound
+from .core.generalized import ApproxMean, ApproxSum, LeaderElect, TopK
+from .core.max_compute import MaxKnownBound, SublinearMax
+
+__all__ = ["solve", "SolveResult", "PROBLEMS"]
+
+PROBLEMS = ("count", "max", "consensus", "sum", "mean", "top_k", "leader")
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of :func:`solve`.
+
+    Attributes
+    ----------
+    output:
+        The unanimous answer.
+    decision_round:
+        Round by which every node had fixed its final decision.
+    rounds_executed:
+        Total rounds the simulation ran (≥ ``decision_round`` for
+        stabilizing runs, which wait out a quiescence window).
+    metrics:
+        Full complexity accounting.
+    """
+
+    output: Any
+    decision_round: int
+    rounds_executed: int
+    metrics: RunMetrics
+
+    def __str__(self) -> str:
+        return (f"{self.output!r} (decided by round {self.decision_round}, "
+                f"{self.metrics.broadcast_bits} bits broadcast)")
+
+
+def _build_nodes(problem: str, n: int, mode: str,
+                 inputs: Optional[Sequence[Any]],
+                 rounds_bound: Optional[int],
+                 eps: float, delta: float, k: int):
+    needs_inputs = problem in ("max", "consensus", "sum", "mean", "top_k")
+    if needs_inputs:
+        if inputs is None:
+            raise ConfigurationError(
+                f"problem {problem!r} needs inputs= (one value per node)")
+        inputs = list(inputs)
+        if len(inputs) != n:
+            raise ConfigurationError(
+                f"inputs has {len(inputs)} values for {n} nodes")
+    if mode == "known_bound":
+        if rounds_bound is None:
+            raise ConfigurationError(
+                "mode='known_bound' needs rounds_bound= (a bound >= d)")
+        require_positive_int(rounds_bound, "rounds_bound")
+
+    if problem == "count":
+        if mode == "approx":
+            return [ApproxCount(i, eps=eps, delta=delta) for i in range(n)]
+        if mode == "known_bound":
+            return [ExactCountKnownBound(i, rounds_bound) for i in range(n)]
+        return [ExactCount(i) for i in range(n)]
+    if problem == "max":
+        if mode == "known_bound":
+            return [MaxKnownBound(i, inputs[i], rounds_bound)
+                    for i in range(n)]
+        return [SublinearMax(i, inputs[i]) for i in range(n)]
+    if problem == "consensus":
+        if mode == "known_bound":
+            return [ConsensusKnownBound(i, inputs[i], rounds_bound)
+                    for i in range(n)]
+        return [SublinearConsensus(i, inputs[i]) for i in range(n)]
+    if problem == "sum":
+        return [ApproxSum(i, float(inputs[i]), eps=eps, delta=delta)
+                for i in range(n)]
+    if problem == "mean":
+        return [ApproxMean(i, float(inputs[i]), eps=eps, delta=delta)
+                for i in range(n)]
+    if problem == "top_k":
+        return [TopK(i, inputs[i], k=k) for i in range(n)]
+    # leader
+    return [LeaderElect(i) for i in range(n)]
+
+
+def solve(problem: str, schedule, inputs: Optional[Sequence[Any]] = None,
+          mode: str = "stabilizing", rounds_bound: Optional[int] = None,
+          eps: float = 0.25, delta: float = 0.05, k: int = 3,
+          seed: int = 0, max_rounds: Optional[int] = None,
+          quiescence_window: int = 64) -> SolveResult:
+    """Solve *problem* on *schedule* and return the unanimous answer.
+
+    Parameters
+    ----------
+    problem:
+        One of :data:`PROBLEMS`.
+    schedule:
+        Any :class:`~repro.dynamics.schedule.GraphSchedule`.
+    inputs:
+        Per-node inputs (by node index), required for max / consensus /
+        sum / mean / top_k.
+    mode:
+        ``"stabilizing"`` (default), ``"known_bound"``, or ``"approx"``
+        (count only; sum/mean are inherently approximate).
+    rounds_bound, eps, delta, k, seed:
+        Mode-specific knobs (see the module docstring).
+    max_rounds:
+        Simulation budget; defaults to ``40·N + 4000``.
+    """
+    require_choice(problem, "problem", PROBLEMS)
+    require_choice(mode, "mode", ("stabilizing", "known_bound", "approx"))
+    if mode == "approx" and problem not in ("count",):
+        raise ConfigurationError(
+            "mode='approx' applies to 'count' (sum/mean are always "
+            "sketch-based; the others are exact)")
+    n = schedule.num_nodes
+    nodes = _build_nodes(problem, n, mode, inputs, rounds_bound,
+                         eps, delta, k)
+    if max_rounds is None:
+        max_rounds = 40 * n + 4000
+    sim = Simulator(schedule, nodes, rng=RngRegistry(seed))
+    if mode == "known_bound":
+        result = sim.run(max_rounds=max_rounds, until="halted")
+    else:
+        result = sim.run(max_rounds=max_rounds, until="quiescent",
+                         quiescence_window=quiescence_window)
+    output = result.unanimous_output()
+    return SolveResult(
+        output=output,
+        decision_round=int(result.metrics.last_decision_round or 0),
+        rounds_executed=result.rounds,
+        metrics=result.metrics,
+    )

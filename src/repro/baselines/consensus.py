@@ -1,0 +1,61 @@
+"""Flood consensus with a known round bound (the ``O(N)`` baseline).
+
+The folklore consensus for 1-interval connected dynamic networks: every
+node floods ``(id, input)`` pairs, keeping the pair with the smallest id;
+after ``rounds_bound`` rounds every node has the globally smallest id's
+pair (flooding completes within ``N - 1`` rounds), so all decide that
+node's input — agreement and validity hold, and termination takes exactly
+``rounds_bound`` rounds.  Correct whenever ``rounds_bound >= N - 1``
+(known ``N``) or ``rounds_bound >= d`` (known diameter bound): another
+baseline whose complexity carries the additive ``Θ(N)`` term under the
+standard knowledge assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from .._validate import require_positive_int
+from ..simnet.message import NodeId
+from ..simnet.node import Algorithm, RoundContext
+
+__all__ = ["FloodConsensus"]
+
+
+class FloodConsensus(Algorithm):
+    """Minimum-id flood consensus (see module docstring).
+
+    Parameters
+    ----------
+    node_id:
+        Node id.
+    proposal:
+        The node's input value (validity: the decision is some node's
+        input).
+    rounds_bound:
+        Rounds to flood before deciding; encode the knowledge assumption
+        (``N - 1`` or a diameter bound) at the call site.
+    """
+
+    name = "flood_consensus"
+
+    def __init__(self, node_id: int, proposal: Any,
+                 rounds_bound: int) -> None:
+        super().__init__(node_id)
+        self.proposal = proposal
+        self.rounds_bound = require_positive_int(rounds_bound, "rounds_bound")
+        self.best: Tuple[int, Any] = (node_id, proposal)
+
+    def compose(self, ctx: RoundContext) -> Any:
+        return (NodeId(self.best[0]), self.best[1])
+
+    def deliver(self, ctx: RoundContext, inbox: List[Any]) -> None:
+        changed = False
+        for sender, value in inbox:
+            if int(sender) < self.best[0]:
+                self.best = (int(sender), value)
+                changed = True
+        self.mark_changed(changed)
+        if ctx.round_index >= self.rounds_bound:
+            self.decide(self.best[1])
+            self.halt()

@@ -1,0 +1,240 @@
+"""Extensions: Sum / Mean / Top-k / leader election in ``O(d)`` rounds.
+
+The abstract names Count/Consensus/Max as *"some fundamental distributed
+computing problems such as …"* — this module carries the framework to the
+natural next problems, the way the literature's follow-ups do:
+
+* **Approximate Sum** (:class:`ApproxSum`): the exponential-minima trick
+  generalises to weighted minima — node ``i`` with weight ``w_i ≥ 0``
+  draws ``X_ij ~ Exp(w_i)`` (i.e. ``Exp(1)/w_i``), so the global
+  coordinate-wise minimum is ``Exp(Σ w)`` and the same inverse-Gamma
+  estimator returns ``Σ w`` with the **identical** exact
+  ``(1±ε, δ)`` Gamma-tail guarantee as Count (Count is the all-weights-1
+  special case).  Zero-weight nodes contribute ``+inf`` draws, i.e.
+  nothing, as they should.
+* **Approximate Mean** (:class:`ApproxMean`): runs the Sum sketch and the
+  Count sketch side by side in one vector and outputs their ratio —
+  average load / temperature / battery, the classic sensor aggregate.
+* **Top-k** (:class:`TopK`): "the k largest inputs (with their owners)"
+  is itself an idempotent aggregate — merge = take the k largest of the
+  union — so it inherits the whole stabilizing ``O(d)`` machinery.
+  ``k = 1`` degenerates to Max with a witness.
+* **Leader election** (:class:`LeaderElect`): consensus on the
+  minimum-id node; every node outputs the leader's id and learns whether
+  it is the leader.
+
+All four use the same quiescence controller and therefore the same
+``O(d)`` stabilization bound, with no knowledge of ``N`` or ``d``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from .._validate import require_positive_int
+from ..simnet.message import NodeId
+from .aggregation import Aggregate, AggregateNode, MinVectorAggregate
+from .sketches import ExponentialCountSketch
+
+__all__ = ["ApproxSum", "ApproxMean", "TopK", "TopKAggregate", "LeaderElect"]
+
+
+def _weighted_draws(width: int, weight: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """``width`` i.i.d. ``Exp(weight)`` draws (``+inf`` for weight 0)."""
+    if weight < 0:
+        raise ValueError(f"weights must be >= 0, got {weight}")
+    if weight == 0.0:
+        return np.full(width, np.inf)
+    return rng.exponential(1.0, size=width) / weight
+
+
+class ApproxSum(AggregateNode):
+    """Stabilizing ``(1±ε)`` Sum of non-negative node weights.
+
+    Parameters
+    ----------
+    node_id:
+        Node id.
+    weight:
+        The node's non-negative input value.
+    eps, delta / width:
+        Accuracy target (exact Gamma tail, as for Count) or explicit
+        sketch width.
+
+    Output: the estimated ``Σ_i weight_i`` (float), unanimous across
+    nodes.  Requires at least one strictly positive weight somewhere in
+    the network (an all-zero sum has an infinite-minima sketch, which is
+    reported as the estimate 0.0).
+    """
+
+    name = "approx_sum"
+
+    def __init__(self, node_id: int, weight: float,
+                 eps: Optional[float] = None, delta: Optional[float] = None,
+                 width: Optional[int] = None,
+                 initial_window: int = 1, window_growth: int = 2) -> None:
+        if width is None:
+            if eps is None or delta is None:
+                raise ValueError("pass either width or both eps and delta")
+            self.sketch = ExponentialCountSketch.for_accuracy(eps, delta)
+        else:
+            self.sketch = ExponentialCountSketch(
+                require_positive_int(width, "width"))
+        super().__init__(node_id, MinVectorAggregate(self.sketch.width),
+                         initial_window=initial_window,
+                         window_growth=window_growth)
+        self.weight = float(weight)
+        if self.weight < 0:
+            raise ValueError(f"weights must be >= 0, got {weight}")
+
+    def make_contribution(self, rng: np.random.Generator) -> np.ndarray:
+        return _weighted_draws(self.sketch.width, self.weight, rng)
+
+    def extract_output(self, state: np.ndarray) -> float:
+        if not np.isfinite(state).all():
+            return 0.0  # nobody with positive weight heard from yet
+        return self.sketch.estimate(state)
+
+
+class ApproxMean(AggregateNode):
+    """Stabilizing ``(1±O(ε))`` Mean of node values.
+
+    Runs a Sum sketch (rate = value) and a Count sketch (rate = 1) in a
+    single concatenated min-vector; the output is their ratio.  Both
+    halves satisfy the ``(1±ε, δ)`` guarantee, so the ratio is within
+    ``(1±ε)²`` of the true mean with probability ``≥ 1 - 2δ``.
+    """
+
+    name = "approx_mean"
+
+    def __init__(self, node_id: int, value: float,
+                 eps: Optional[float] = None, delta: Optional[float] = None,
+                 width: Optional[int] = None,
+                 initial_window: int = 1, window_growth: int = 2) -> None:
+        if width is None:
+            if eps is None or delta is None:
+                raise ValueError("pass either width or both eps and delta")
+            self.sketch = ExponentialCountSketch.for_accuracy(eps, delta)
+        else:
+            self.sketch = ExponentialCountSketch(
+                require_positive_int(width, "width"))
+        super().__init__(node_id, MinVectorAggregate(2 * self.sketch.width),
+                         initial_window=initial_window,
+                         window_growth=window_growth)
+        self.value = float(value)
+        if self.value < 0:
+            raise ValueError(
+                f"ApproxMean supports non-negative values, got {value}")
+
+    def make_contribution(self, rng: np.random.Generator) -> np.ndarray:
+        k = self.sketch.width
+        sum_half = _weighted_draws(k, self.value, rng)
+        count_half = rng.exponential(1.0, size=k)
+        return np.concatenate([sum_half, count_half])
+
+    def extract_output(self, state: np.ndarray) -> float:
+        k = self.sketch.width
+        count_est = self.sketch.estimate(state[k:])
+        if not np.isfinite(state[:k]).all():
+            return 0.0  # all-zero values
+        sum_est = self.sketch.estimate(state[:k])
+        return sum_est / count_est
+
+
+class TopKAggregate(Aggregate):
+    """The k largest ``(value, owner_id)`` pairs of the union.
+
+    Idempotent/commutative/associative because "k largest of a union"
+    only depends on the union as a set; owner ids break value ties, so
+    states are canonical sorted tuples.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = require_positive_int(k, "k")
+
+    def merge(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        merged = sorted(set(a) | set(b), reverse=True)[: self.k]
+        return tuple(merged)
+
+    def encode(self, state) -> Any:
+        return tuple((value, NodeId(owner)) for value, owner in state)
+
+    def decode(self, payload):
+        return tuple((value, int(owner)) for value, owner in payload)
+
+
+class TopK(AggregateNode):
+    """Stabilizing Top-k: every node learns the k largest inputs + owners.
+
+    Output: a tuple of up to ``k`` ``(value, owner_id)`` pairs in
+    descending order (fewer than ``k`` when ``N < k``).  ``k = 1``
+    recovers Max with a witness.  Messages carry at most ``k`` pairs.
+    """
+
+    name = "top_k"
+
+    def __init__(self, node_id: int, value, k: int,
+                 initial_window: int = 1, window_growth: int = 2) -> None:
+        super().__init__(node_id, TopKAggregate(k),
+                         initial_window=initial_window,
+                         window_growth=window_growth)
+        self.value = value
+        self.k = k
+
+    def make_contribution(self, rng: np.random.Generator):
+        return ((self.value, self.node_id),)
+
+    def extract_output(self, state):
+        return tuple(state)
+
+
+class _MinIdAggregate(Aggregate):
+    """Minimum node id (the election key)."""
+
+    def merge(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a <= b else b
+
+    def encode(self, state) -> Any:
+        return NodeId(state)
+
+    def decode(self, payload):
+        return int(payload)
+
+
+class LeaderElect(AggregateNode):
+    """Stabilizing leader election: all nodes output the minimum id.
+
+    After stabilization every node agrees on the leader; a node can check
+    ``node.is_leader`` to learn whether it won.  ``O(d)`` rounds,
+    ``Θ(log N)``-bit messages, zero knowledge.
+    """
+
+    name = "leader_elect"
+
+    def __init__(self, node_id: int, initial_window: int = 1,
+                 window_growth: int = 2) -> None:
+        super().__init__(node_id, _MinIdAggregate(),
+                         initial_window=initial_window,
+                         window_growth=window_growth)
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this node currently believes it is the leader."""
+        return self.decided and self.output == self.node_id
+
+    def make_contribution(self, rng: np.random.Generator) -> int:
+        return self.node_id
+
+    def extract_output(self, state: int) -> int:
+        return state

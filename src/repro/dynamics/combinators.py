@@ -1,0 +1,148 @@
+"""Schedule combinators: build new dynamics from existing ones.
+
+Each combinator documents how the T-interval promise propagates — that
+is the whole point: promises compose predictably, so complex adversaries
+can be assembled from certified parts (and the verifier re-checks the
+results in the tests anyway).
+
+* :func:`dilate` — hold each graph of a base schedule for ``s``
+  consecutive rounds.  **Promise amplification**: naive holding is not
+  enough (a length-``s`` window straddling two blocks intersects two
+  *different* connected graphs, whose intersection need not be
+  connected), so ``dilate`` applies the same overlap-handoff trick as
+  the adversaries in :mod:`~repro.dynamics.interval` — the previous
+  block's graph is also carried during the first ``s - 1`` rounds of
+  each block — which makes the dilation of any 1-interval schedule
+  provably ``s``-interval connected (proof in :func:`dilate`).
+* :func:`union_schedules` — per-round edge union; inherits the
+  *stronger* promise of the two parts (a window intersection contains
+  each part's).
+* :func:`concatenate` — run schedule A for a prefix, then B.  The
+  promise around the seam is re-established by carrying A's last graph
+  through B's first ``T - 1`` rounds (overlap again).
+* :func:`relabel` — apply a node permutation (promises untouched).
+
+All results are plain :class:`~repro.dynamics.schedule.FunctionSchedule`
+objects, replayable as long as their inputs are.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validate import require_positive_int
+from ..errors import ConfigurationError
+from .schedule import FunctionSchedule, GraphSchedule, canonical_edges
+
+__all__ = ["dilate", "union_schedules", "concatenate", "relabel"]
+
+
+def dilate(base: GraphSchedule, s: int) -> FunctionSchedule:
+    """Hold each graph of *base* for ``s`` rounds, with handoff overlap.
+
+    Round ``r`` of the dilation carries base graph ``⌈r/s⌉``; the first
+    ``s-1`` rounds of each block also carry the previous block's graph.
+
+    Promise.  If every graph of *base* is connected (1-interval), the
+    dilation is ``s``-interval connected: any ``s`` consecutive rounds
+    touch at most two blocks ``b, b+1``; the rounds from block ``b+1``
+    are its first ``≤ s-1``, which also carry block ``b``'s graph, and
+    the rounds from block ``b`` carry it by definition — so the window's
+    intersection contains base graph ``b``, which is connected and
+    spanning.  ∎
+
+    This converts *any* certified 1-interval adversary into a
+    ``T = s`` adversary — the tool behind custom T-sweeps.
+    """
+    require_positive_int(s, "s")
+
+    def fn(r: int) -> np.ndarray:
+        block = (r - 1) // s + 1  # 1-based base round
+        parts = [base.edges(block)]
+        pos = (r - 1) % s
+        if s > 1 and pos < s - 1 and block > 1:
+            parts.append(base.edges(block - 1))
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    return FunctionSchedule(base.num_nodes, fn, interval=s)
+
+
+def union_schedules(a: GraphSchedule, b: GraphSchedule) -> FunctionSchedule:
+    """Per-round edge union of two schedules over the same node set.
+
+    Promise: for any ``T`` that either part satisfies, the union does too
+    (window intersections only gain edges).  ``interval`` is set to the
+    stronger (``None`` beats any finite ``T``; smaller ``T`` is stronger
+    than larger).
+    """
+    if a.num_nodes != b.num_nodes:
+        raise ConfigurationError(
+            f"cannot union schedules over {a.num_nodes} and "
+            f"{b.num_nodes} nodes")
+    if a.interval is None or b.interval is None:
+        interval: Optional[int] = None
+    else:
+        interval = min(a.interval, b.interval)
+
+    def fn(r: int) -> np.ndarray:
+        return np.concatenate([a.edges(r), b.edges(r)])
+
+    return FunctionSchedule(a.num_nodes, fn, interval=interval)
+
+
+def concatenate(a: GraphSchedule, prefix_rounds: int,
+                b: GraphSchedule, T: int = 1) -> FunctionSchedule:
+    """Schedule A for rounds ``1..prefix_rounds``, then schedule B.
+
+    B's round clock restarts at the seam (its round 1 plays at global
+    round ``prefix_rounds + 1``).  To keep a ``T``-interval promise
+    across the seam, A's **last** graph is additionally carried through
+    B's first ``T - 1`` rounds (the overlap argument once more: any
+    window crossing the seam takes its A-side rounds from A's final
+    graph's tenure... specifically the window's B-side rounds are B's
+    first ``≤ T-1``, which carry A's last graph, and the A-side rounds
+    carry it too — provided A held that graph for its last ``T-1``
+    rounds, which is guaranteed when A itself is a dilation or static;
+    for general A the seam promise is ``min(T, A's run length)``, and
+    the tests verify concrete compositions with the machine verifier).
+    """
+    require_positive_int(prefix_rounds, "prefix_rounds")
+    require_positive_int(T, "T")
+    if a.num_nodes != b.num_nodes:
+        raise ConfigurationError(
+            f"cannot concatenate schedules over {a.num_nodes} and "
+            f"{b.num_nodes} nodes")
+
+    def fn(r: int) -> np.ndarray:
+        if r <= prefix_rounds:
+            return a.edges(r)
+        pos_in_b = r - prefix_rounds
+        parts = [b.edges(pos_in_b)]
+        if T > 1 and pos_in_b <= T - 1:
+            parts.append(a.edges(prefix_rounds))
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    return FunctionSchedule(a.num_nodes, fn, interval=T)
+
+
+def relabel(base: GraphSchedule,
+            permutation: Sequence[int]) -> FunctionSchedule:
+    """Apply a node permutation to every round's graph.
+
+    ``permutation[i]`` is the new index of node ``i``.  Promises are
+    untouched (isomorphism).  Useful for symmetry/property tests: any
+    id-oblivious algorithm must behave identically up to relabelling.
+    """
+    perm = np.asarray(permutation, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(base.num_nodes)):
+        raise ConfigurationError(
+            f"permutation must be a bijection on range({base.num_nodes})")
+
+    def fn(r: int) -> np.ndarray:
+        edges = base.edges(r)
+        return canonical_edges(perm[edges], base.num_nodes) if edges.size \
+            else edges
+
+    return FunctionSchedule(base.num_nodes, fn, interval=base.interval)

@@ -1,0 +1,253 @@
+"""Oblivious T-interval adversaries.
+
+Each adversary here generates an infinite schedule that **satisfies
+T-interval connectivity by construction**; the construction and its proof
+sketch live in the class docstrings, and the test suite additionally
+machine-checks prefixes of every adversary with
+:func:`~repro.dynamics.verifier.verify_t_interval_connectivity`.
+
+Determinism: the graph of round ``r`` is a pure function of
+``(constructor arguments, r)`` — per-round/per-window generators are
+derived from the seed via :class:`numpy.random.SeedSequence`, never from
+shared mutable stream state — so schedules can be replayed by the verifier
+without being stored.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .._validate import require_nonnegative_int, require_positive_int
+from ..errors import ConfigurationError
+from .schedule import FunctionSchedule, canonical_edges
+from .topologies import random_tree_graph
+
+__all__ = [
+    "StaticAdversary",
+    "StableBackboneAdversary",
+    "OverlapHandoffAdversary",
+    "FreshSpanningAdversary",
+    "AlternatingMatchingsAdversary",
+    "random_noise_edges",
+]
+
+
+def _rng_for(seed: int, *key: int) -> np.random.Generator:
+    """Deterministic generator for a (seed, key...) coordinate."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=tuple(key))
+    )
+
+
+def random_noise_edges(n: int, count: int,
+                       rng: np.random.Generator) -> np.ndarray:
+    """*count* uniform random distinct non-loop pairs (may duplicate backbone).
+
+    Duplicates with other edge sets are harmless: schedules canonicalise
+    unions with :func:`~repro.dynamics.schedule.canonical_edges`.
+    """
+    require_positive_int(n, "n")
+    require_nonnegative_int(count, "count")
+    if count == 0 or n < 2:
+        return np.empty((0, 2), dtype=np.int32)
+    u = rng.integers(0, n, size=count)
+    v = rng.integers(0, n - 1, size=count)
+    v = np.where(v >= u, v + 1, v)  # avoid self-loops uniformly
+    return np.stack([u, v], axis=1).astype(np.int32)
+
+
+class StaticAdversary(FunctionSchedule):
+    """The same graph every round.
+
+    A static connected graph is T-interval connected for **every** T
+    (``interval=None``), and realises the worst case ``d = diameter`` —
+    e.g. the static line that forces the ``Ω(N)`` lower bound discussed
+    in DESIGN.md §1.
+    """
+
+    def __init__(self, num_nodes: int, edges: object) -> None:
+        fixed = canonical_edges(edges, num_nodes)
+        super().__init__(num_nodes, lambda r: fixed, interval=None)
+        self.fixed_edges = fixed
+
+
+class StableBackboneAdversary(FunctionSchedule):
+    """A fixed spanning backbone plus per-round random churn edges.
+
+    The backbone (any connected spanning edge set) is present in **every**
+    round, so the schedule is T-interval connected for every T
+    (``interval=None``); the churn edges change arbitrarily each round,
+    modelling the "topology can change arbitrarily from round to round"
+    clause of the abstract while the promise is kept by the backbone.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    backbone:
+        Connected spanning edge set kept every round.
+    noise_edges:
+        Number of uniform random extra edges added per round.
+    seed:
+        Determinism root for the churn.
+    """
+
+    def __init__(self, num_nodes: int, backbone: object,
+                 noise_edges: int = 0, seed: int = 0) -> None:
+        self.backbone = canonical_edges(backbone, num_nodes)
+        self.noise_edges = require_nonnegative_int(noise_edges, "noise_edges")
+        self.seed = require_nonnegative_int(seed, "seed")
+
+        def fn(r: int) -> np.ndarray:
+            if self.noise_edges == 0:
+                return self.backbone
+            noise = random_noise_edges(
+                num_nodes, self.noise_edges, _rng_for(self.seed, r))
+            return np.concatenate([self.backbone, noise])
+
+        super().__init__(num_nodes, fn, interval=None)
+
+
+class OverlapHandoffAdversary(FunctionSchedule):
+    """Exactly-T-interval adversary: a fresh backbone per T-round window,
+    handed off with a (T-1)-round overlap.
+
+    Construction.  Partition rounds into windows ``w = 0, 1, …`` of length
+    ``T`` (window ``w`` covers rounds ``wT+1 .. (w+1)T``).  Each window has
+    its own random spanning backbone ``B_w``.  Round ``r`` in window ``w``
+    carries ``B_w``; additionally, the **last T-1 rounds** of window ``w``
+    also carry ``B_{w+1}``; plus optional per-round churn edges.
+
+    Why this satisfies T-interval connectivity.  Any ``T`` consecutive
+    rounds ``[r, r+T-1]`` touch at most two windows ``w, w+1``.  If they
+    lie within one window, their intersection contains that window's
+    backbone.  Otherwise the rounds taken from window ``w`` are its last
+    ``c ≤ T-1`` rounds, which by construction all carry ``B_{w+1}``; the
+    rounds from window ``w+1`` carry ``B_{w+1}`` too — so the intersection
+    contains the connected spanning ``B_{w+1}``.  ∎
+
+    Because consecutive backbones are independent random spanning trees,
+    windows of length ``> 2T`` generally have **no** common spanning
+    subgraph: the promise is *exactly* T, which is what the paper's
+    "constant T" experiments need.
+
+    Parameters
+    ----------
+    num_nodes, T:
+        Model parameters; ``T >= 1``.  For ``T = 1`` there is no overlap
+        and every round is an independent random backbone.
+    backbone_builder:
+        ``builder(n, rng) -> edges`` producing a connected spanning edge
+        set; defaults to a uniform random recursive tree with a random
+        node relabelling (so the tree's *shape and placement* both vary).
+    noise_edges:
+        Per-round uniform random extra edges.
+    seed:
+        Determinism root.
+    """
+
+    def __init__(self, num_nodes: int, T: int,
+                 backbone_builder: Optional[Callable[[int, np.random.Generator], np.ndarray]] = None,
+                 noise_edges: int = 0, seed: int = 0) -> None:
+        self.T = require_positive_int(T, "T")
+        self.noise_edges = require_nonnegative_int(noise_edges, "noise_edges")
+        self.seed = require_nonnegative_int(seed, "seed")
+        self._builder = backbone_builder or _relabeled_random_tree
+        self._backbone_cache: dict[int, np.ndarray] = {}
+
+        def fn(r: int) -> np.ndarray:
+            w = (r - 1) // self.T
+            parts = [self._backbone(num_nodes, w)]
+            # Last T-1 rounds of window w also carry B_{w+1}.
+            pos_in_window = (r - 1) % self.T  # 0-based
+            if self.T > 1 and pos_in_window >= 1:
+                parts.append(self._backbone(num_nodes, w + 1))
+            if self.noise_edges:
+                parts.append(random_noise_edges(
+                    num_nodes, self.noise_edges,
+                    _rng_for(self.seed, 1, r)))
+            return np.concatenate(parts)
+
+        super().__init__(num_nodes, fn, interval=self.T)
+
+    def _backbone(self, n: int, window: int) -> np.ndarray:
+        cached = self._backbone_cache.get(window)
+        if cached is None:
+            cached = canonical_edges(
+                self._builder(n, _rng_for(self.seed, 0, window)), n)
+            if len(self._backbone_cache) > 8:
+                self._backbone_cache.pop(next(iter(self._backbone_cache)))
+            self._backbone_cache[window] = cached
+        return cached
+
+
+def _relabeled_random_tree(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Random recursive tree composed with a random node relabelling."""
+    tree = random_tree_graph(n, rng)
+    if n == 1:
+        return tree
+    perm = rng.permutation(n)
+    return perm[tree]
+
+
+class FreshSpanningAdversary(FunctionSchedule):
+    """A completely fresh random spanning structure every round (T = 1).
+
+    Each round is an independent random Hamiltonian path over a random
+    permutation of the nodes, plus optional churn edges.  Only 1-interval
+    connectivity is promised; empirically the flooding time is
+    ``O(log N)`` w.h.p. because the per-round randomness mixes information
+    like a gossip process — this is the evaluation's "maximally dynamic
+    yet low-``d``" instance.
+    """
+
+    def __init__(self, num_nodes: int, noise_edges: int = 0,
+                 seed: int = 0) -> None:
+        self.noise_edges = require_nonnegative_int(noise_edges, "noise_edges")
+        self.seed = require_nonnegative_int(seed, "seed")
+
+        def fn(r: int) -> np.ndarray:
+            rng = _rng_for(self.seed, r)
+            perm = rng.permutation(num_nodes)
+            path = np.stack([perm[:-1], perm[1:]], axis=1) if num_nodes > 1 \
+                else np.empty((0, 2), dtype=np.int32)
+            if self.noise_edges:
+                noise = random_noise_edges(num_nodes, self.noise_edges, rng)
+                return np.concatenate([path, noise])
+            return path
+
+        super().__init__(num_nodes, fn, interval=1)
+
+
+class AlternatingMatchingsAdversary(FunctionSchedule):
+    """A ring whose odd/even edge sets alternate round parity, on a stable cycle.
+
+    Round ``2k+1`` carries the full ring; round ``2k`` carries the full
+    ring **minus one rotating edge** — the classic minimal example of a
+    graph sequence that is connected every round but never stabilises.
+    Because the surviving ``n-1`` ring edges always form a spanning path,
+    every round is connected (T=1), and any two consecutive rounds share
+    a spanning path, making the schedule 2-interval connected as well
+    (``interval=2``).
+
+    Requires ``num_nodes >= 3``.
+    """
+
+    def __init__(self, num_nodes: int, seed: int = 0) -> None:
+        if num_nodes < 3:
+            raise ConfigurationError(
+                f"AlternatingMatchingsAdversary requires n >= 3, got {num_nodes}")
+        idx = np.arange(num_nodes)
+        ring = np.stack([idx, (idx + 1) % num_nodes], axis=1)
+
+        def fn(r: int) -> np.ndarray:
+            if r % 2 == 1:
+                return ring
+            drop = (r // 2) % num_nodes
+            keep = np.ones(num_nodes, dtype=bool)
+            keep[drop] = False
+            return ring[keep]
+
+        super().__init__(num_nodes, fn, interval=2)

@@ -1,0 +1,259 @@
+"""Schedule base classes.
+
+A schedule maps 1-based round indices to undirected graphs over node
+indices ``0 .. num_nodes-1``.  Graphs are represented as *canonical edge
+arrays*: ``numpy`` int32 arrays of shape ``(m, 2)`` with ``u < v`` in every
+row and rows sorted lexicographically — a unique representation per graph,
+which makes window intersection (the heart of T-interval verification)
+a sorted-set operation.
+
+Determinism contract
+--------------------
+``edges(r)`` must be a *pure function* of ``(schedule construction
+arguments, r)`` for all oblivious schedules, so that the verifier and the
+engine can both replay the same schedule without storing every round.
+Adaptive schedules cannot be pure; they derive from
+:class:`~repro.dynamics.adaptive.AdaptiveSchedule`, which records its
+generated rounds for later verification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._validate import require_positive_int
+from ..errors import ConfigurationError, ScheduleError
+
+__all__ = [
+    "canonical_edges",
+    "GraphSchedule",
+    "ExplicitSchedule",
+    "FunctionSchedule",
+    "RecordingSchedule",
+]
+
+
+def canonical_edges(edges: object, num_nodes: int) -> np.ndarray:
+    """Normalise *edges* into the canonical edge-array representation.
+
+    Accepts any iterable of ``(u, v)`` pairs or an ``(m, 2)`` array.
+    Self-loops are rejected; duplicate edges are merged; endpoints are
+    validated against ``num_nodes``.
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                     dtype=np.int64)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int32)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ScheduleError(f"edge array must have shape (m, 2), got {arr.shape}")
+    if (arr < 0).any() or (arr >= num_nodes).any():
+        raise ScheduleError(
+            f"edge endpoints must be in [0, {num_nodes}), got range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    if (lo == hi).any():
+        raise ScheduleError("self-loops are not allowed")
+    canon = np.stack([lo, hi], axis=1).astype(np.int32)
+    canon = np.unique(canon, axis=0)
+    return canon
+
+
+class GraphSchedule:
+    """Abstract base: a dynamic graph, one canonical edge array per round.
+
+    Subclasses implement :meth:`edges`.  The base provides cached
+    conversion to per-node neighbour lists (what the engine consumes) and
+    NetworkX export for analysis.
+
+    Attributes
+    ----------
+    num_nodes:
+        Number of nodes (indices ``0 .. num_nodes-1``).
+    interval:
+        The value of ``T`` this schedule *promises* to satisfy
+        (``interval=1`` promises only per-round connectivity; a static
+        schedule may promise ``interval=None`` meaning "every T").
+    """
+
+    #: maximum rounds of neighbour lists kept in the conversion cache
+    _NEIGHBOR_CACHE = 8
+
+    def __init__(self, num_nodes: int, interval: Optional[int] = 1) -> None:
+        self.num_nodes = require_positive_int(num_nodes, "num_nodes")
+        if interval is not None:
+            require_positive_int(interval, "interval")
+        self.interval = interval
+        self._neighbor_cache: Dict[int, List[np.ndarray]] = {}
+
+    # -- abstract -------------------------------------------------------------
+
+    def edges(self, round_index: int) -> np.ndarray:
+        """Canonical edge array of the graph for 1-based *round_index*."""
+        raise NotImplementedError
+
+    # -- derived --------------------------------------------------------------
+
+    def neighbors(self, round_index: int) -> List[np.ndarray]:
+        """Per-node neighbour index arrays for the round's graph (cached)."""
+        cached = self._neighbor_cache.get(round_index)
+        if cached is not None:
+            return cached
+        edge_arr = self.edges(round_index)
+        lists: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        for u, v in edge_arr:
+            lists[u].append(v)
+            lists[v].append(u)
+        out = [np.asarray(item, dtype=np.int32) for item in lists]
+        if len(self._neighbor_cache) >= self._NEIGHBOR_CACHE:
+            self._neighbor_cache.pop(next(iter(self._neighbor_cache)))
+        self._neighbor_cache[round_index] = out
+        return out
+
+    def degrees(self, round_index: int) -> np.ndarray:
+        """Degree of every node in the round's graph."""
+        edge_arr = self.edges(round_index)
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        if edge_arr.size:
+            np.add.at(deg, edge_arr[:, 0], 1)
+            np.add.at(deg, edge_arr[:, 1], 1)
+        return deg
+
+    def as_networkx(self, round_index: int):
+        """The round's graph as a :class:`networkx.Graph` (analysis only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(map(tuple, self.edges(round_index)))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} n={self.num_nodes} "
+                f"T={self.interval}>")
+
+
+class ExplicitSchedule(GraphSchedule):
+    """A schedule stored as an explicit per-round list of edge arrays.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    rounds:
+        One edge collection per round, for rounds ``1 .. len(rounds)``.
+    cycle:
+        If true, round ``r`` beyond the stored horizon wraps around
+        (``rounds[(r-1) % len(rounds)]``); if false, querying beyond the
+        horizon raises :class:`~repro.errors.ScheduleError`.
+    interval:
+        The T the schedule claims to satisfy (verified by tests via
+        :func:`~repro.dynamics.verifier.verify_t_interval_connectivity`).
+    """
+
+    def __init__(self, num_nodes: int, rounds: Sequence[object],
+                 cycle: bool = False, interval: Optional[int] = 1) -> None:
+        super().__init__(num_nodes, interval)
+        if not rounds:
+            raise ConfigurationError("rounds must be non-empty")
+        self._rounds = [canonical_edges(e, num_nodes) for e in rounds]
+        self.cycle = bool(cycle)
+
+    @property
+    def horizon(self) -> int:
+        """Number of explicitly stored rounds."""
+        return len(self._rounds)
+
+    def edges(self, round_index: int) -> np.ndarray:
+        require_positive_int(round_index, "round_index")
+        idx = round_index - 1
+        if idx >= len(self._rounds):
+            if not self.cycle:
+                raise ScheduleError(
+                    f"round {round_index} beyond explicit horizon "
+                    f"{len(self._rounds)} (pass cycle=True to wrap)"
+                )
+            idx %= len(self._rounds)
+        return self._rounds[idx]
+
+
+class FunctionSchedule(GraphSchedule):
+    """A schedule computed on demand by a pure function of the round index.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    fn:
+        ``fn(round_index) -> edges``; must be deterministic (the engine and
+        the verifier may both evaluate it for the same round).
+    interval:
+        The T the generator guarantees.
+    """
+
+    def __init__(self, num_nodes: int, fn: Callable[[int], object],
+                 interval: Optional[int] = 1) -> None:
+        super().__init__(num_nodes, interval)
+        self._fn = fn
+        self._edge_cache: Dict[int, np.ndarray] = {}
+
+    _EDGE_CACHE = 8
+
+    def edges(self, round_index: int) -> np.ndarray:
+        require_positive_int(round_index, "round_index")
+        cached = self._edge_cache.get(round_index)
+        if cached is not None:
+            return cached
+        out = canonical_edges(self._fn(round_index), self.num_nodes)
+        if len(self._edge_cache) >= self._EDGE_CACHE:
+            self._edge_cache.pop(next(iter(self._edge_cache)))
+        self._edge_cache[round_index] = out
+        return out
+
+
+class RecordingSchedule(GraphSchedule):
+    """Wrapper that records every round it serves, for later verification.
+
+    Wrap any schedule whose generation is *not* replayable (adaptive
+    adversaries, schedules driven by external state) so that after a run
+    the exact sequence of graphs that occurred can be certified::
+
+        rec = RecordingSchedule(adaptive)
+        Simulator(rec, nodes).run(...)
+        verify_t_interval_connectivity(rec.to_explicit(), T=1)
+    """
+
+    def __init__(self, inner: GraphSchedule) -> None:
+        super().__init__(inner.num_nodes, inner.interval)
+        self.inner = inner
+        self._recorded: Dict[int, np.ndarray] = {}
+
+    def edges(self, round_index: int) -> np.ndarray:
+        cached = self._recorded.get(round_index)
+        if cached is None:
+            cached = self.inner.edges(round_index)
+            self._recorded[round_index] = cached
+        return cached
+
+    def bind(self, nodes) -> None:
+        """Forward engine binding to an adaptive inner schedule."""
+        bind = getattr(self.inner, "bind", None)
+        if bind is not None:
+            bind(nodes)
+
+    def to_explicit(self) -> ExplicitSchedule:
+        """Freeze the recorded prefix into an :class:`ExplicitSchedule`."""
+        if not self._recorded:
+            raise ScheduleError("nothing recorded yet")
+        horizon = max(self._recorded)
+        missing = [r for r in range(1, horizon + 1) if r not in self._recorded]
+        if missing:
+            raise ScheduleError(f"recorded rounds have gaps: {missing[:5]} ...")
+        return ExplicitSchedule(
+            self.num_nodes,
+            [self._recorded[r] for r in range(1, horizon + 1)],
+            interval=self.interval,
+        )

@@ -1,0 +1,224 @@
+"""Automated claim certification.
+
+The reproduction's headline statements are encoded here as *checkable
+claims* over the saved experiment artefacts: ``check_claims(results_dir)``
+re-reads the measured rows and verdicts each claim, so "the reproduction
+succeeds" is itself a machine-checked statement rather than prose.
+
+Claims (each maps to the abstract or to a lemma in docs/MODEL.md):
+
+=====  ======================================================================
+id     statement
+=====  ======================================================================
+C1     Core Count has no Ω(N) term: fitted exponent < 0.5 on low-d dynamics
+       (abstract's headline, from F1)
+C2     The KLO baseline pays Θ(N²): fitted exponent in [1.7, 2.3] (F1)
+C3     Known-N token dissemination pays ≳ Θ(N): exponent > 0.8 (F1)
+C4     Constant T suffices: core Count rounds vary by < 3x across
+       T ∈ {1..16} at fixed N (F2)
+C5     Core rounds track d: within the proved (1+g)·d + O(1) bound for
+       every measured d (F3)
+C6     Sketch coverage matches the analytic Gamma tail within 5 points (F4)
+C7     Correct under every adversary in the zoo (T2)
+C8     Crossover vs KLO at N ≤ 64 (F5)
+C9     Sketch messages are N-independent: max message bits constant in N
+       while exact-count messages grow (F6)
+=====  ======================================================================
+
+A claim whose experiment has not been run is reported ``UNKNOWN`` rather
+than failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .io import load_rows
+
+__all__ = ["Claim", "CLAIMS", "check_claims", "render_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One certified statement and its verdict."""
+
+    claim_id: str
+    statement: str
+    verdict: str       # "HOLDS" | "FAILS" | "UNKNOWN"
+    evidence: str
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "claim": self.claim_id,
+            "verdict": self.verdict,
+            "statement": self.statement,
+            "evidence": self.evidence,
+        }
+
+
+def _rows(results_dir: str, exp_id: str) -> Optional[List[Dict[str, Any]]]:
+    try:
+        return load_rows(results_dir, exp_id)
+    except (FileNotFoundError, KeyError):
+        return None
+
+
+def _slope(rows, algorithm) -> Optional[float]:
+    for row in rows:
+        if row["algorithm"] == algorithm:
+            return float(row["exponent_b"])
+    return None
+
+
+def _check_c1(results_dir: str) -> Claim:
+    statement = "core Count has no Omega(N) term (F1 exponent < 0.5)"
+    rows = _rows(results_dir, "f1")
+    if rows is None:
+        return Claim("C1", statement, "UNKNOWN", "f1 not run")
+    exact = _slope(rows, "exact_count_ours")
+    approx = _slope(rows, "approx_count_ours")
+    ok = (exact is not None and approx is not None
+          and exact < 0.5 and approx < 0.5)
+    return Claim("C1", statement, "HOLDS" if ok else "FAILS",
+                 f"exponents: exact={exact}, approx={approx}")
+
+
+def _check_c2(results_dir: str) -> Claim:
+    statement = "KLO baseline pays Theta(N^2) (F1 exponent in [1.7, 2.3])"
+    rows = _rows(results_dir, "f1")
+    if rows is None:
+        return Claim("C2", statement, "UNKNOWN", "f1 not run")
+    slope = _slope(rows, "klo_count")
+    ok = slope is not None and 1.7 <= slope <= 2.3
+    return Claim("C2", statement, "HOLDS" if ok else "FAILS",
+                 f"exponent={slope}")
+
+
+def _check_c3(results_dir: str) -> Claim:
+    statement = "known-N token dissemination pays >= ~Theta(N) (exponent > 0.8)"
+    rows = _rows(results_dir, "f1")
+    if rows is None:
+        return Claim("C3", statement, "UNKNOWN", "f1 not run")
+    slope = _slope(rows, "token_dissemination_knownN")
+    ok = slope is not None and slope > 0.8
+    return Claim("C3", statement, "HOLDS" if ok else "FAILS",
+                 f"exponent={slope}")
+
+
+def _check_c4(results_dir: str) -> Claim:
+    statement = "constant T suffices: core rounds within 3x across T (F2)"
+    rows = _rows(results_dir, "f2")
+    if rows is None:
+        return Claim("C4", statement, "UNKNOWN", "f2 not run")
+    ours = [float(r["rounds"]) for r in rows
+            if r["algorithm"] == "exact_count_ours"]
+    if not ours:
+        return Claim("C4", statement, "UNKNOWN", "no core rows in f2")
+    ok = max(ours) <= 3 * min(ours)
+    return Claim("C4", statement, "HOLDS" if ok else "FAILS",
+                 f"rounds across T: min={min(ours):.1f}, max={max(ours):.1f}")
+
+
+def _check_c5(results_dir: str) -> Claim:
+    statement = "core rounds <= (1+growth)*d + O(1) for every measured d (F3)"
+    rows = _rows(results_dir, "f3")
+    if rows is None:
+        return Claim("C5", statement, "UNKNOWN", "f3 not run")
+    violations = []
+    for row in rows:
+        if row["algorithm"] in ("exact_count_ours", "sublinear_max_ours"):
+            if float(row["rounds"]) > 3 * float(row["d"]) + 8:
+                violations.append((row["algorithm"], row["d"],
+                                   row["rounds"]))
+    ok = not violations
+    return Claim("C5", statement, "HOLDS" if ok else "FAILS",
+                 "no violations" if ok else f"violations: {violations[:3]}")
+
+
+def _check_c6(results_dir: str) -> Claim:
+    statement = "sketch coverage matches the exact Gamma tail within 0.05 (F4)"
+    rows = _rows(results_dir, "f4")
+    if rows is None:
+        return Claim("C6", statement, "UNKNOWN", "f4 not run")
+    worst = max(abs(float(r["coverage_mc"]) - float(r["coverage_analytic"]))
+                for r in rows)
+    ok = worst <= 0.05
+    return Claim("C6", statement, "HOLDS" if ok else "FAILS",
+                 f"worst |measured - analytic| = {worst:.4f}")
+
+
+def _check_c7(results_dir: str) -> Claim:
+    statement = "correct outputs under every adversary in the zoo (T2)"
+    rows = _rows(results_dir, "t2")
+    if rows is None:
+        return Claim("C7", statement, "UNKNOWN", "t2 not run")
+    bad = [(r["adversary"], r["problem"]) for r in rows if not r["correct"]]
+    ok = not bad
+    return Claim("C7", statement, "HOLDS" if ok else "FAILS",
+                 f"{len(rows)} adversary×problem cells all correct"
+                 if ok else f"incorrect cells: {bad}")
+
+
+def _check_c8(results_dir: str) -> Claim:
+    statement = "crossover vs KLO at N <= 64 (F5)"
+    rows = _rows(results_dir, "f5")
+    if rows is None:
+        return Claim("C8", statement, "UNKNOWN", "f5 not run")
+    for row in rows:
+        if row["baseline"] == "klo_count":
+            x = row["crossover_N_predicted"]
+            ok = x is not None and int(x) <= 64
+            return Claim("C8", statement, "HOLDS" if ok else "FAILS",
+                         f"predicted crossover N = {x}")
+    return Claim("C8", statement, "UNKNOWN", "no klo row in f5")
+
+
+def _check_c9(results_dir: str) -> Claim:
+    statement = ("sketch messages N-independent, exact messages grow (F6 "
+                 "max_message_bits)")
+    rows = _rows(results_dir, "f6")
+    if rows is None:
+        return Claim("C9", statement, "UNKNOWN", "f6 not run")
+    approx = {int(r["n"]): float(r["max_message_bits"]) for r in rows
+              if r["algorithm"] == "approx_count_ours"}
+    exact = {int(r["n"]): float(r["max_message_bits"]) for r in rows
+             if r["algorithm"] == "exact_count_ours"}
+    if len(approx) < 2 or len(exact) < 2:
+        return Claim("C9", statement, "UNKNOWN", "not enough F6 rows")
+    ns = sorted(approx)
+    approx_flat = max(approx.values()) <= min(approx.values()) * 1.05
+    exact_grows = exact[ns[-1]] > exact[ns[0]] * 1.5
+    ok = approx_flat and exact_grows
+    return Claim("C9", statement, "HOLDS" if ok else "FAILS",
+                 f"approx bits {sorted(approx.values())}, "
+                 f"exact bits {sorted(exact.values())}")
+
+
+#: claim id -> checker over a results directory
+CLAIMS: Dict[str, Callable[[str], Claim]] = {
+    "C1": _check_c1,
+    "C2": _check_c2,
+    "C3": _check_c3,
+    "C4": _check_c4,
+    "C5": _check_c5,
+    "C6": _check_c6,
+    "C7": _check_c7,
+    "C8": _check_c8,
+    "C9": _check_c9,
+}
+
+
+def check_claims(results_dir: str) -> List[Claim]:
+    """Evaluate every registered claim against saved results."""
+    return [checker(results_dir) for checker in CLAIMS.values()]
+
+
+def render_claims(claims: List[Claim]) -> str:
+    """Human-readable claims report."""
+    from ..analysis.tables import render_table
+
+    return render_table(
+        [c.as_row() for c in claims],
+        columns=["claim", "verdict", "statement", "evidence"],
+        title="Reproduction claims certification")

@@ -1,0 +1,94 @@
+"""``repro-experiments`` — regenerate the evaluation from the command line.
+
+Examples::
+
+    repro-experiments --quick t1 f1          # fast smoke of two experiments
+    repro-experiments --all --out results/   # the full reconstructed eval
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS, run_experiment, run_f1, run_f5, run_t1
+from .io import save_experiment
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=("Regenerate the tables and figures of the "
+                     "reconstructed HJSWY SPAA'22 evaluation."))
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (t1 f1 f2 f3 f4 t2 f5 f6 t3)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken sizes (smoke test)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also save artefacts under DIR")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--claims", action="store_true",
+                        help="certify the reproduction claims against "
+                             "saved results (use with --out DIR or the "
+                             "default results/)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parser().parse_args(argv)
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+    if args.claims:
+        from .claims import check_claims, render_claims
+
+        results_dir = args.out or "results"
+        claims = check_claims(results_dir)
+        print(render_claims(claims))
+        return 0 if all(c.verdict != "FAILS" for c in claims) else 1
+    ids = list(EXPERIMENTS) if args.all else [e.lower() for e in args.experiments]
+    if not ids:
+        _parser().print_help()
+        return 2
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+
+    # T1 feeds F1 and F5; share its rows when several are requested.
+    t1_cache = None
+    if "t1" in ids or ("f1" in ids and "f5" in ids):
+        t1_cache = run_t1(quick=args.quick)
+
+    for exp_id in ids:
+        started = time.time()
+        if exp_id == "t1" and t1_cache is not None:
+            result = t1_cache
+        elif exp_id == "f1" and t1_cache is not None:
+            result = run_f1(quick=args.quick, t1=t1_cache)
+        elif exp_id == "f5" and t1_cache is not None:
+            result = run_f5(quick=args.quick, t1=t1_cache)
+        else:
+            result = run_experiment(exp_id, quick=args.quick)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        if args.out:
+            path = save_experiment(result, args.out)
+            print(f"[saved to {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

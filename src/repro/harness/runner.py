@@ -1,0 +1,155 @@
+"""Generic trial execution.
+
+A *trial* is one simulation: a schedule factory, a node factory, stop
+configuration, and an optional correctness oracle.  :func:`run_trial`
+executes it and returns a :class:`TrialResult` with the standard measured
+quantities (rounds, last-final-decision round, bits, correctness);
+:func:`run_replicates` repeats over seeds.
+
+The measured quantity of record for stabilizing algorithms is
+``last_decision_round`` — the round in which the last node fixed the
+decision it never retracted (see :mod:`repro.core.termination`); for
+halting algorithms it coincides with the total rounds executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..simnet.engine import RunResult, Simulator
+from ..simnet.node import Algorithm
+from ..simnet.rng import RngRegistry
+
+__all__ = ["TrialConfig", "TrialResult", "run_trial", "run_replicates"]
+
+ScheduleFactory = Callable[[int], object]         # seed -> schedule
+NodeFactory = Callable[[object, int], Sequence[Algorithm]]  # (schedule, seed) -> nodes
+Oracle = Callable[[Dict[int, Any], object], bool]  # (outputs, schedule) -> ok
+
+
+@dataclass
+class TrialConfig:
+    """Everything needed to run one simulation trial.
+
+    Attributes
+    ----------
+    schedule_factory:
+        ``seed -> schedule``; called once per trial.
+    node_factory:
+        ``(schedule, seed) -> [Algorithm, ...]``.
+    max_rounds:
+        Round budget.
+    until / quiescence_window:
+        Stop condition, as in :meth:`repro.simnet.engine.Simulator.run`.
+    stop_when:
+        Optional oracle stop predicate over the simulator.
+    oracle:
+        Optional output-correctness check ``(outputs, schedule) -> bool``.
+    bandwidth_bits:
+        Optional CONGEST budget (overflows counted, not fatal).
+    allow_timeout:
+        Forward to the engine; timeouts then yield ``stop_reason ==
+        "max_rounds"`` instead of raising.
+    """
+
+    schedule_factory: ScheduleFactory
+    node_factory: NodeFactory
+    max_rounds: int
+    until: str = "halted"
+    quiescence_window: int = 1
+    stop_when: Optional[Callable[[Simulator], bool]] = None
+    oracle: Optional[Oracle] = None
+    bandwidth_bits: Optional[int] = None
+    allow_timeout: bool = False
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Measured quantities of one trial (flattened into result rows)."""
+
+    seed: int
+    rounds: int
+    last_decision_round: Optional[int]
+    first_decision_round: Optional[int]
+    broadcast_bits: int
+    delivered_messages: int
+    max_message_bits: int
+    correct: Optional[bool]
+    stop_reason: str
+    outputs_sample: Any
+    counters: Dict[str, int]
+
+    def as_row(self, **extra: Any) -> Dict[str, Any]:
+        """Flatten to a results row, merging experiment parameters."""
+        row = {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "last_decision_round": self.last_decision_round,
+            "broadcast_bits": self.broadcast_bits,
+            "delivered_messages": self.delivered_messages,
+            "max_message_bits": self.max_message_bits,
+            "correct": self.correct,
+            "stop_reason": self.stop_reason,
+        }
+        row.update(extra)
+        return row
+
+
+class _MaxBitsProbe:
+    """Tracks the largest single broadcast, via the metrics counter hook."""
+
+    def __init__(self) -> None:
+        self.max_bits = 0
+
+
+def run_trial(config: TrialConfig, seed: int) -> TrialResult:
+    """Execute one trial with the given seed."""
+    schedule = config.schedule_factory(seed)
+    nodes = list(config.node_factory(schedule, seed))
+    sim = Simulator(
+        schedule, nodes, rng=RngRegistry(seed),
+        bandwidth_bits=config.bandwidth_bits,
+    )
+    # Wrap on_broadcast to observe per-message sizes without touching the
+    # engine's hot path elsewhere.
+    probe = _MaxBitsProbe()
+    original = sim.metrics.on_broadcast
+
+    def on_broadcast(bits: int, degree: int) -> None:
+        if bits > probe.max_bits:
+            probe.max_bits = bits
+        original(bits, degree)
+
+    sim.metrics.on_broadcast = on_broadcast  # type: ignore[method-assign]
+
+    result: RunResult = sim.run(
+        max_rounds=config.max_rounds,
+        until=config.until,
+        quiescence_window=config.quiescence_window,
+        stop_when=config.stop_when,
+        allow_timeout=config.allow_timeout,
+    )
+    correct: Optional[bool] = None
+    if config.oracle is not None:
+        correct = bool(config.oracle(result.outputs, schedule))
+    sample = next(iter(result.outputs.values()), None)
+    return TrialResult(
+        seed=seed,
+        rounds=result.rounds,
+        last_decision_round=result.metrics.last_decision_round,
+        first_decision_round=result.metrics.first_decision_round,
+        broadcast_bits=result.metrics.broadcast_bits,
+        delivered_messages=result.metrics.delivered_messages,
+        max_message_bits=probe.max_bits,
+        correct=correct,
+        stop_reason=result.stop_reason,
+        outputs_sample=sample,
+        counters=dict(result.metrics.counters),
+    )
+
+
+def run_replicates(config: TrialConfig,
+                   seeds: Sequence[int]) -> List[TrialResult]:
+    """Run the trial once per seed, collecting all results."""
+    return [run_trial(config, seed) for seed in seeds]

@@ -1,0 +1,100 @@
+"""Parameter sweeps: cartesian grids of trials, flattened to result rows.
+
+The experiment functions in :mod:`repro.harness.experiments` hand-roll
+their loops for readability; this module offers the same machinery as a
+reusable utility for users running their own studies::
+
+    from repro.harness.sweeps import sweep
+
+    rows = sweep(
+        grid={"n": [32, 64], "T": [1, 2, 4]},
+        build=lambda p: TrialConfig(
+            schedule_factory=lambda seed: OverlapHandoffAdversary(
+                p["n"], p["T"], seed=seed),
+            node_factory=lambda sched, seed: [
+                ExactCount(i) for i in range(p["n"])],
+            max_rounds=10_000, until="quiescent", quiescence_window=64),
+        seeds=[1, 2, 3],
+    )
+
+Each row carries the grid point, the seed, and the standard measured
+quantities (see :meth:`repro.harness.runner.TrialResult.as_row`);
+:func:`aggregate_rows` collapses replicates into mean/std per grid point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from ..analysis.stats import summarize
+from .runner import TrialConfig, run_trial
+
+__all__ = ["grid_points", "sweep", "aggregate_rows"]
+
+
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a parameter grid, as a list of dicts.
+
+    Keys iterate in insertion order, the last key varying fastest.
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    for key, values in grid.items():
+        if not isinstance(values, (list, tuple)):
+            raise TypeError(
+                f"grid[{key!r}] must be a list/tuple of values, got "
+                f"{type(values).__name__}")
+        if not values:
+            raise ValueError(f"grid[{key!r}] is empty")
+    return [dict(zip(keys, combo))
+            for combo in itertools.product(*(grid[k] for k in keys))]
+
+
+def sweep(grid: Mapping[str, Sequence[Any]],
+          build: Callable[[Dict[str, Any]], TrialConfig],
+          seeds: Sequence[int] = (1,),
+          progress: Callable[[Dict[str, Any], int], None] = None,
+          ) -> List[Dict[str, Any]]:
+    """Run ``build(point)`` for every grid point × seed; return flat rows."""
+    rows: List[Dict[str, Any]] = []
+    for point in grid_points(grid):
+        config = build(point)
+        for seed in seeds:
+            if progress is not None:
+                progress(point, seed)
+            result = run_trial(config, seed)
+            rows.append(result.as_row(**point))
+    return rows
+
+
+def aggregate_rows(rows: Sequence[Dict[str, Any]],
+                   group_by: Sequence[str],
+                   value: str = "rounds") -> List[Dict[str, Any]]:
+    """Collapse replicate rows into mean/std/min/max per group.
+
+    Groups by the given keys (e.g. the grid keys), summarising the
+    *value* column; non-numeric or missing values raise.
+    """
+    groups: Dict[tuple, List[float]] = {}
+    order: List[tuple] = []
+    for row in rows:
+        key = tuple(row[k] for k in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(float(row[value]))
+    out = []
+    for key in order:
+        summary = summarize(groups[key])
+        entry: Dict[str, Any] = dict(zip(group_by, key))
+        entry.update({
+            f"{value}_mean": summary.mean,
+            f"{value}_std": summary.std,
+            f"{value}_min": summary.minimum,
+            f"{value}_max": summary.maximum,
+            "replicates": summary.n,
+        })
+        out.append(entry)
+    return out

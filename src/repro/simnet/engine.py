@@ -1,0 +1,327 @@
+"""The lock-step round engine.
+
+:class:`Simulator` wires together a *dynamic-graph schedule* (anything
+satisfying the :class:`ScheduleLike` duck type — in practice the classes in
+:mod:`repro.dynamics`), a list of :class:`~repro.simnet.node.Algorithm`
+nodes, and the metrics/trace machinery, and executes synchronous rounds:
+
+1. every non-halted node composes its broadcast payload (graph not yet
+   visible to it);
+2. the schedule's graph for the round delivers each payload to the
+   sender's current neighbours;
+3. every non-halted node consumes its inbox;
+4. decision-lifecycle events are drained into metrics and traces.
+
+Stop conditions
+---------------
+``run`` stops at the first of:
+
+* all nodes **halted** (``until="halted"``, the default);
+* all nodes **decided** (``until="decided"``) — appropriate for algorithms
+  that decide exactly once;
+* all nodes decided and reporting no state change for
+  ``quiescence_window`` consecutive rounds (``until="quiescent"``) —
+  appropriate for *stabilizing* algorithms whose decisions may be
+  tentatively wrong and later retracted (see
+  :mod:`repro.core.termination` for why this matters in this model);
+* a user predicate (``stop_when``);
+* the round budget ``max_rounds`` (raising
+  :class:`~repro.errors.NotTerminatedError` unless ``allow_timeout``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from .._validate import require_choice, require_positive_int
+from ..errors import BandwidthExceededError, ConfigurationError, NotTerminatedError
+from .message import bit_size
+from .metrics import MetricsCollector, RunMetrics
+from .node import Algorithm, RoundContext
+from .rng import RngRegistry
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = ["Simulator", "RunResult", "ScheduleLike"]
+
+
+class ScheduleLike(Protocol):
+    """Duck type the engine requires of a dynamic-graph schedule."""
+
+    @property
+    def num_nodes(self) -> int:  # pragma: no cover - protocol
+        """Number of nodes."""
+        ...
+
+    def neighbors(self, round_index: int) -> Sequence[Sequence[int]]:  # pragma: no cover
+        """Adjacency (lists of node *indices*) of the 1-based round's graph."""
+        ...
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :meth:`Simulator.run` call.
+
+    Attributes
+    ----------
+    metrics:
+        Frozen complexity accounting for the run.
+    outputs:
+        Final decision value per node id (missing nodes never decided).
+    rounds:
+        Rounds executed (equal to ``metrics.rounds``).
+    stop_reason:
+        One of ``"halted"``, ``"decided"``, ``"quiescent"``, ``"predicate"``,
+        ``"max_rounds"``.
+    """
+
+    metrics: RunMetrics
+    outputs: Dict[int, Any]
+    rounds: int
+    stop_reason: str
+
+    def unanimous_output(self) -> Any:
+        """Return the single common output, or raise if nodes disagree.
+
+        Convenience for problems (Count, Max, Consensus) whose spec
+        requires all nodes to output the same value.
+        """
+        values = set(self.outputs.values())
+        if len(values) != 1:
+            raise AssertionError(f"nodes disagree: {sorted(map(repr, values))[:10]}")
+        return next(iter(values))
+
+
+class Simulator:
+    """Round engine binding a schedule to a set of protocol nodes.
+
+    Parameters
+    ----------
+    schedule:
+        The dynamic-graph schedule (see :mod:`repro.dynamics`).
+    nodes:
+        One :class:`Algorithm` per schedule index, in index order.  Node
+        *ids* may be arbitrary distinct ints; node *indices* (their
+        position in this list) are what the schedule's adjacency refers to.
+    rng:
+        Registry from which each node's private stream is drawn
+        (component name ``"node"``).  A fresh seed-0 registry by default.
+    bandwidth_bits:
+        If given, the CONGEST-style per-message bit budget.  Violations
+        raise :class:`~repro.errors.BandwidthExceededError` when
+        ``strict_bandwidth`` is true, otherwise they are tallied in the
+        ``bandwidth_overflows`` counter.
+    id_bits:
+        Width charged for :class:`~repro.simnet.message.NodeId` values.
+    trace:
+        Optional :class:`TraceRecorder`.
+    loss_rate:
+        EXTENSION beyond the paper's model (used by experiment X2): each
+        *directed delivery* is independently dropped with this
+        probability (seeded from *rng*, component ``"loss"``).  Note
+        that message loss silently weakens the adversary's promise — the
+        effective per-round graph is a random subgraph — so halting
+        known-bound algorithms lose their correctness guarantee, while
+        the stabilizing core remains eventually correct as long as
+        information keeps flowing.
+    """
+
+    def __init__(
+        self,
+        schedule: ScheduleLike,
+        nodes: Sequence[Algorithm],
+        rng: Optional[RngRegistry] = None,
+        bandwidth_bits: Optional[int] = None,
+        strict_bandwidth: bool = False,
+        id_bits: int = 32,
+        trace: Optional[TraceRecorder] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if len(nodes) != schedule.num_nodes:
+            raise ConfigurationError(
+                f"schedule has {schedule.num_nodes} nodes but {len(nodes)} "
+                f"Algorithm instances were supplied"
+            )
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("node ids must be distinct")
+        if bandwidth_bits is not None:
+            require_positive_int(bandwidth_bits, "bandwidth_bits")
+        self.schedule = schedule
+        self.nodes: List[Algorithm] = list(nodes)
+        self.rng = rng if rng is not None else RngRegistry(0)
+        self.bandwidth_bits = bandwidth_bits
+        self.strict_bandwidth = bool(strict_bandwidth)
+        self.id_bits = require_positive_int(id_bits, "id_bits")
+        self.trace = trace
+        if not (0.0 <= float(loss_rate) < 1.0):
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = float(loss_rate)
+        self._loss_rng = self.rng.for_component("loss") if loss_rate else None
+        self.metrics = MetricsCollector()
+        self.round_index = 0
+        self._node_rngs = [
+            self.rng.for_node("node", node.node_id) for node in self.nodes
+        ]
+        self._quiescent_streak = 0
+        # Payload objects repeat across rounds once protocols converge
+        # (see AggregateNode's encode cache); memoize their bit cost by
+        # identity, keeping a strong ref so the id stays valid.
+        self._bits_cache: Dict[int, Tuple[Any, int]] = {}
+        # Adaptive schedules inspect node state; give them the node list.
+        bind = getattr(schedule, "bind", None)
+        if bind is not None:
+            bind(self.nodes)
+
+    # -- single round --------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute exactly one round."""
+        self.round_index += 1
+        r = self.round_index
+        nodes = self.nodes
+        n = len(nodes)
+        trace = self.trace
+        if trace is not None:
+            trace.record(TraceEvent(r, "round", None))
+
+        # Phase 1: compose (graph not yet revealed to nodes).
+        payloads: List[Any] = [None] * n
+        for i in range(n):
+            node = nodes[i]
+            if node.halted:
+                continue
+            ctx = RoundContext(r, self._node_rngs[i], self.metrics.incr)
+            payloads[i] = node.compose(ctx)
+
+        # Phase 2: reveal the round's graph and account for transmissions.
+        neighbors = self.schedule.neighbors(r)
+        halted = [node.halted for node in nodes]
+        bits_cache = self._bits_cache
+        for i in range(n):
+            payload = payloads[i]
+            if payload is None:
+                continue
+            entry = bits_cache.get(id(payload))
+            if entry is not None and entry[0] is payload:
+                bits = entry[1]
+            else:
+                bits = bit_size(payload, self.id_bits)
+                if len(bits_cache) >= 4 * n:
+                    bits_cache.clear()
+                bits_cache[id(payload)] = (payload, bits)
+            if self.bandwidth_bits is not None and bits > self.bandwidth_bits:
+                if self.strict_bandwidth:
+                    raise BandwidthExceededError(
+                        f"node {nodes[i].node_id} composed a {bits}-bit "
+                        f"message; budget is {self.bandwidth_bits} bits",
+                        node_id=nodes[i].node_id, bits=bits,
+                        limit=self.bandwidth_bits,
+                    )
+                self.metrics.incr("bandwidth_overflows")
+            live_degree = sum(1 for j in neighbors[i] if not halted[j])
+            self.metrics.on_broadcast(bits, live_degree)
+            if trace is not None:
+                trace.record(TraceEvent(r, "broadcast", nodes[i].node_id, payload))
+
+        # Phase 3: deliver inboxes.
+        all_changed_false = True
+        loss_rng = self._loss_rng
+        loss_rate = self.loss_rate
+        for j in range(n):
+            node = nodes[j]
+            if node.halted:
+                continue
+            inbox = [
+                payloads[i] for i in neighbors[j]
+                if payloads[i] is not None and not halted[i]
+            ]
+            if loss_rng is not None and inbox:
+                kept = loss_rng.random(len(inbox)) >= loss_rate
+                dropped = len(inbox) - int(kept.sum())
+                if dropped:
+                    self.metrics.incr("messages_lost", dropped)
+                    inbox = [m for m, keep in zip(inbox, kept) if keep]
+            ctx = RoundContext(r, self._node_rngs[j], self.metrics.incr)
+            node.deliver(ctx, inbox)
+            if node.state_changed:
+                all_changed_false = False
+            # Phase 4: drain decision events.
+            for event in node._drain_events():
+                kind = event[0]
+                if kind == "decide":
+                    self.metrics.on_decision(node.node_id, r)
+                    if trace is not None:
+                        trace.record(TraceEvent(r, "decide", node.node_id, event[1]))
+                elif kind == "retract":
+                    self.metrics.on_retraction(node.node_id)
+                    if trace is not None:
+                        trace.record(TraceEvent(r, "retract", node.node_id))
+                elif kind == "halt":
+                    if trace is not None:
+                        trace.record(TraceEvent(r, "halt", node.node_id))
+
+        self._quiescent_streak = (
+            self._quiescent_streak + 1 if all_changed_false else 0
+        )
+        self.metrics.on_round_executed()
+
+    # -- full run --------------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int,
+        until: str = "halted",
+        quiescence_window: int = 1,
+        stop_when: Optional[Callable[["Simulator"], bool]] = None,
+        allow_timeout: bool = False,
+    ) -> RunResult:
+        """Execute rounds until a stop condition fires.
+
+        See the module docstring for the semantics of each *until* value.
+        """
+        require_positive_int(max_rounds, "max_rounds")
+        require_choice(until, "until", ("halted", "decided", "quiescent"))
+        require_positive_int(quiescence_window, "quiescence_window")
+
+        stop_reason = "max_rounds"
+        while self.round_index < max_rounds:
+            self.step()
+            if stop_when is not None and stop_when(self):
+                stop_reason = "predicate"
+                break
+            if until == "halted":
+                if all(node.halted for node in self.nodes):
+                    stop_reason = "halted"
+                    break
+            elif until == "decided":
+                if all(node.decided or node.halted for node in self.nodes):
+                    stop_reason = "decided"
+                    break
+            else:  # quiescent
+                if (self._quiescent_streak >= quiescence_window
+                        and all(node.decided or node.halted for node in self.nodes)):
+                    stop_reason = "quiescent"
+                    break
+
+        if stop_reason == "max_rounds" and not allow_timeout:
+            undecided = tuple(
+                node.node_id for node in self.nodes
+                if not (node.decided or node.halted)
+            )
+            raise NotTerminatedError(
+                f"round budget of {max_rounds} exhausted under "
+                f"until={until!r} ({len(undecided)} nodes undecided)",
+                rounds_executed=self.round_index, undecided=undecided,
+            )
+
+        outputs = {
+            node.node_id: node.output for node in self.nodes if node.decided
+        }
+        return RunResult(
+            metrics=self.metrics.snapshot(),
+            outputs=outputs,
+            rounds=self.round_index,
+            stop_reason=stop_reason,
+        )

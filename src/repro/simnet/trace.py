@@ -1,0 +1,126 @@
+"""Optional structured tracing of simulation runs.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.simnet.engine.Simulator`
+receives one :class:`TraceEvent` per interesting occurrence (round start,
+broadcast, decision, retraction, halt).  Traces power the debugging
+examples and the regression tests that assert *when* things happened, not
+just the final outputs.
+
+Tracing is off by default; the engine pays no cost when no recorder is
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round in which the event happened (0 for pre-run events).
+    kind:
+        One of ``"round"``, ``"broadcast"``, ``"deliver"``, ``"decide"``,
+        ``"retract"``, ``"halt"``, ``"note"``.
+    node_id:
+        The node concerned, or ``None`` for global events.
+    payload:
+        Event-specific data (the message for broadcasts, the decision
+        value for decisions, free-form text for notes).
+    """
+
+    round_index: int
+    kind: str
+    node_id: Optional[int]
+    payload: Any = None
+
+
+class TraceRecorder:
+    """In-memory trace sink with simple query helpers.
+
+    Parameters
+    ----------
+    record_broadcasts:
+        Broadcasts are by far the most numerous events; recording them can
+        be disabled independently to keep traces small on long runs.
+    max_events:
+        Hard cap on stored events (oldest kept); ``None`` for unlimited.
+    """
+
+    def __init__(self, record_broadcasts: bool = True,
+                 max_events: Optional[int] = None) -> None:
+        self.record_broadcasts = bool(record_broadcasts)
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self._truncated = False
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, event: TraceEvent) -> None:
+        """Append *event*, honouring the broadcast filter and the cap."""
+        if event.kind == "broadcast" and not self.record_broadcasts:
+            return
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self._truncated = True
+            return
+        self._events.append(event)
+
+    def note(self, round_index: int, text: str,
+             node_id: Optional[int] = None) -> None:
+        """Record a free-form annotation (used by algorithms for phases)."""
+        self.record(TraceEvent(round_index, "note", node_id, text))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """All recorded events, in order."""
+        return tuple(self._events)
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the cap caused events to be dropped."""
+        return self._truncated
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> Tuple[TraceEvent, ...]:
+        """All events with ``event.kind == kind``."""
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def for_node(self, node_id: int) -> Tuple[TraceEvent, ...]:
+        """All events attributed to *node_id*."""
+        return tuple(e for e in self._events if e.node_id == node_id)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> Tuple[TraceEvent, ...]:
+        """All events satisfying *predicate*."""
+        return tuple(e for e in self._events if predicate(e))
+
+    def decision_timeline(self) -> Tuple[Tuple[int, int, Any], ...]:
+        """``(round, node, value)`` triples of final decisions, in round order.
+
+        Retracted decisions are excluded: only the last ``decide`` of each
+        node with no later ``retract`` counts.
+        """
+        last_decide: dict[int, TraceEvent] = {}
+        for event in self._events:
+            if event.kind == "decide" and event.node_id is not None:
+                last_decide[event.node_id] = event
+            elif event.kind == "retract" and event.node_id is not None:
+                last_decide.pop(event.node_id, None)
+        triples = [
+            (e.round_index, node, e.payload) for node, e in last_decide.items()
+        ]
+        triples.sort()
+        return tuple(triples)

@@ -1,0 +1,168 @@
+"""Tests for schedule combinators: dilate / union / concatenate / relabel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RngRegistry, Simulator
+from repro.core import ExactCount
+from repro.errors import ConfigurationError
+from repro.dynamics import (
+    FreshSpanningAdversary,
+    StaticAdversary,
+    concatenate,
+    dilate,
+    dynamic_diameter,
+    line_graph,
+    relabel,
+    ring_graph,
+    union_schedules,
+    verify_t_interval_connectivity,
+)
+
+
+class TestDilate:
+    @pytest.mark.parametrize("s", [1, 2, 3, 5])
+    def test_promise_amplification(self, s):
+        base = FreshSpanningAdversary(16, seed=2)  # 1-interval
+        dilated = dilate(base, s)
+        ok, bad = verify_t_interval_connectivity(
+            dilated, s, horizon=6 * s + 4, raise_on_failure=False)
+        assert ok, f"window {bad}"
+        assert dilated.interval == s
+
+    def test_blocks_hold_base_graphs(self):
+        base = FreshSpanningAdversary(12, seed=1)
+        dilated = dilate(base, 3)
+        base_edges = {tuple(e) for e in base.edges(2)}
+        # last round of block 2 carries exactly base graph 2
+        held = {tuple(e) for e in dilated.edges(6)}
+        assert base_edges == held
+
+    def test_overlap_in_early_block_rounds(self):
+        base = FreshSpanningAdversary(12, seed=1)
+        dilated = dilate(base, 3)
+        first_of_block2 = {tuple(e) for e in dilated.edges(4)}
+        prev = {tuple(e) for e in base.edges(1)}
+        assert prev <= first_of_block2
+
+    def test_s1_identity(self):
+        base = FreshSpanningAdversary(10, seed=4)
+        same = dilate(base, 1)
+        assert (same.edges(5) == base.edges(5)).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(s=st.integers(min_value=1, max_value=6),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_property_promise(self, s, seed):
+        dilated = dilate(FreshSpanningAdversary(10, seed=seed), s)
+        ok, _ = verify_t_interval_connectivity(
+            dilated, s, horizon=4 * s + 4, raise_on_failure=False)
+        assert ok
+
+    def test_algorithms_run_on_dilation(self):
+        n = 24
+        dilated = dilate(FreshSpanningAdversary(n, seed=6), 4)
+        nodes = [ExactCount(i) for i in range(n)]
+        result = Simulator(dilated, nodes, rng=RngRegistry(1)).run(
+            max_rounds=4000, until="quiescent", quiescence_window=32)
+        assert result.unanimous_output() == n
+
+
+class TestUnion:
+    def test_contains_both_parts(self):
+        a = StaticAdversary(10, line_graph(10))
+        b = StaticAdversary(10, ring_graph(10))
+        u = union_schedules(a, b)
+        edges = {tuple(e) for e in u.edges(1)}
+        assert {tuple(e) for e in a.edges(1)} <= edges
+        assert {tuple(e) for e in b.edges(1)} <= edges
+
+    def test_interval_takes_stronger(self):
+        a = FreshSpanningAdversary(10, seed=1)      # T=1
+        b = dilate(FreshSpanningAdversary(10, seed=2), 4)  # T=4
+        assert union_schedules(a, b).interval == 1
+        static = StaticAdversary(10, line_graph(10))  # None = every T
+        assert union_schedules(a, static).interval is None
+
+    def test_union_shrinks_diameter(self):
+        line = StaticAdversary(20, line_graph(20))
+        fresh = FreshSpanningAdversary(20, seed=3)
+        assert (dynamic_diameter(union_schedules(line, fresh))
+                <= dynamic_diameter(line))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            union_schedules(StaticAdversary(4, line_graph(4)),
+                            StaticAdversary(5, line_graph(5)))
+
+
+class TestConcatenate:
+    def test_prefix_then_suffix(self):
+        a = StaticAdversary(8, line_graph(8))
+        b = StaticAdversary(8, ring_graph(8))
+        cat = concatenate(a, 5, b, T=1)
+        assert (cat.edges(3) == a.edges(3)).all()
+        assert {tuple(e) for e in b.edges(1)} <= {
+            tuple(e) for e in cat.edges(6)}
+
+    def test_seam_overlap(self):
+        from repro.dynamics import star_graph
+
+        a = StaticAdversary(8, star_graph(8))  # disjoint from the ring
+        b = StaticAdversary(8, ring_graph(8))
+        cat = concatenate(a, 5, b, T=3)
+        # B's first T-1 rounds carry A's last graph
+        for r in [6, 7]:
+            assert {tuple(e) for e in a.edges(5)} <= {
+                tuple(e) for e in cat.edges(r)}
+        assert not ({tuple(e) for e in a.edges(5)} <= {
+            tuple(e) for e in cat.edges(8)})
+
+    def test_seam_promise_verified(self):
+        a = StaticAdversary(8, line_graph(8))
+        b = StaticAdversary(8, ring_graph(8))
+        cat = concatenate(a, 5, b, T=3)
+        ok, _ = verify_t_interval_connectivity(cat, 3, horizon=15)
+        assert ok
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            concatenate(StaticAdversary(4, line_graph(4)), 3,
+                        StaticAdversary(5, line_graph(5)))
+
+
+class TestRelabel:
+    def test_preserves_structure(self):
+        base = StaticAdversary(12, line_graph(12))
+        perm = np.roll(np.arange(12), 5)
+        rl = relabel(base, perm)
+        assert dynamic_diameter(rl) == dynamic_diameter(base)
+        assert len(rl.edges(1)) == len(base.edges(1))
+
+    def test_identity_permutation(self):
+        base = StaticAdversary(6, ring_graph(6))
+        rl = relabel(base, list(range(6)))
+        assert (rl.edges(1) == base.edges(1)).all()
+
+    def test_invalid_permutation(self):
+        base = StaticAdversary(4, line_graph(4))
+        with pytest.raises(ConfigurationError, match="bijection"):
+            relabel(base, [0, 0, 1, 2])
+
+    def test_algorithm_outputs_invariant_under_relabel(self):
+        """Id-oblivious algorithms compute the same answer on isomorphic
+        schedules (inputs relabelled consistently)."""
+        n = 16
+        base = FreshSpanningAdversary(n, seed=5)
+        rng = np.random.default_rng(2)
+        perm = rng.permutation(n)
+        rl = relabel(base, perm)
+
+        def count_on(schedule):
+            nodes = [ExactCount(i) for i in range(n)]
+            return Simulator(schedule, nodes, rng=RngRegistry(1)).run(
+                max_rounds=2000, until="quiescent",
+                quiescence_window=32).unanimous_output()
+
+        assert count_on(base) == count_on(rl) == n

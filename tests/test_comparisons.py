@@ -1,0 +1,58 @@
+"""Tests for the statistical comparison tooling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_diff_ci, compare, mann_whitney
+
+
+class TestMannWhitney:
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 1, 30)
+        b = rng.normal(10, 1, 30)
+        _, p = mann_whitney(a, b)
+        assert p > 0.05
+
+    def test_clearly_different_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 1, 30)
+        b = rng.normal(20, 1, 30)
+        _, p = mann_whitney(a, b)
+        assert p < 1e-6
+
+    def test_needs_two_replicates(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            mann_whitney([1.0], [1.0, 2.0])
+
+
+class TestBootstrap:
+    def test_ci_contains_true_diff(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(15, 2, 50)
+        b = rng.normal(10, 2, 50)
+        lo, hi = bootstrap_diff_ci(a, b, seed=3)
+        assert lo < 5.0 < hi + 1.5  # true diff ~5 within/near interval
+        assert lo > 0  # clearly positive effect
+
+    def test_seeded_deterministic(self):
+        a, b = [1.0, 2.0, 3.0, 4.0], [2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_diff_ci(a, b, seed=7) == bootstrap_diff_ci(a, b, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            bootstrap_diff_ci([1.0, 2.0], [1.0, 2.0], confidence=2.0)
+
+
+class TestCompare:
+    def test_row_shape(self):
+        rng = np.random.default_rng(2)
+        cmp = compare(rng.normal(5, 1, 20), rng.normal(8, 1, 20))
+        row = cmp.as_row()
+        assert row["significant"] is True
+        assert cmp.diff == pytest.approx(cmp.mean_a - cmp.mean_b)
+        assert cmp.diff_ci_low <= cmp.diff <= cmp.diff_ci_high
+
+    def test_insignificant_close_samples(self):
+        cmp = compare([5.0, 6.0, 5.5, 6.5], [5.2, 6.1, 5.4, 6.6])
+        assert not cmp.significant

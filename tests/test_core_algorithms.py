@@ -1,0 +1,237 @@
+"""Integration tests for the core (reconstructed) algorithms.
+
+The central claims under test:
+
+* correctness of final decisions under every adversary (stabilizing
+  semantics: the last decision of every node is the true answer);
+* the O(d) stabilization bound: last final decision within
+  ``quiescence_rounds_bound(d)`` rounds — with **no dependence on N**.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.analysis import quiescence_rounds_bound
+from repro.core import (
+    ApproxCount,
+    ApproxCountKnownBound,
+    ConsensusKnownBound,
+    ExactCount,
+    ExactCountKnownBound,
+    MaxKnownBound,
+    SublinearConsensus,
+    SublinearMax,
+)
+from repro.dynamics import (
+    AlternatingMatchingsAdversary,
+    EdgeChurnAdversary,
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    RepairedMobilityAdversary,
+    StaticAdversary,
+    dynamic_diameter,
+    line_graph,
+    random_tree_graph,
+    ring_of_cliques,
+)
+from tests.conftest import run_quiescent
+
+
+def adversary_zoo(n, seed=5):
+    rng = np.random.default_rng(seed)
+    return {
+        "line": StaticAdversary(n, line_graph(n)),
+        "ring_of_cliques": StaticAdversary(n, ring_of_cliques(n, 4)),
+        "fresh": FreshSpanningAdversary(n, seed=seed),
+        "handoff_T2": OverlapHandoffAdversary(n, 2, seed=seed),
+        "handoff_T5": OverlapHandoffAdversary(n, 5, seed=seed),
+        "alternating": AlternatingMatchingsAdversary(n),
+        "churn": EdgeChurnAdversary(n, random_tree_graph(n, rng), seed=seed),
+        "mobility": RepairedMobilityAdversary(n, T=2, seed=seed),
+    }
+
+
+class TestSublinearMax:
+    @pytest.mark.parametrize("adv_name", list(adversary_zoo(8)))
+    def test_correct_on_all_adversaries(self, adv_name):
+        n = 32
+        sched = adversary_zoo(n)[adv_name]
+        values = [(i * 13) % 101 for i in range(n)]
+        nodes = [SublinearMax(i, values[i]) for i in range(n)]
+        result = run_quiescent(sched, nodes, max_rounds=40 * n + 400)
+        assert result.unanimous_output() == max(values)
+
+    def test_stabilization_within_bound(self):
+        n = 64
+        for seed in [1, 2, 3]:
+            sched = OverlapHandoffAdversary(n, 2, seed=seed)
+            d = dynamic_diameter(sched)
+            nodes = [SublinearMax(i, (i * 7) % 50) for i in range(n)]
+            result = run_quiescent(sched, nodes, seed=seed)
+            last = result.metrics.last_decision_round
+            assert last <= quiescence_rounds_bound(d)
+
+    def test_no_dependence_on_n(self):
+        """Same d-ish dynamics, 8x the nodes: decision round barely moves."""
+        rounds = {}
+        for n in [64, 512]:
+            sched = FreshSpanningAdversary(n, seed=2)
+            nodes = [SublinearMax(i, i % 97) for i in range(n)]
+            result = run_quiescent(sched, nodes, max_rounds=4000)
+            rounds[n] = result.metrics.last_decision_round
+        assert rounds[512] <= rounds[64] + 8  # polylog growth at most
+
+    def test_tuple_values(self):
+        n = 16
+        sched = FreshSpanningAdversary(n, seed=1)
+        nodes = [SublinearMax(i, ((i * 3) % 7, i)) for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        assert result.unanimous_output() == max(((i * 3) % 7, i)
+                                                for i in range(n))
+
+    def test_single_node(self):
+        sched = StaticAdversary(1, [])
+        nodes = [SublinearMax(0, 42)]
+        result = run_quiescent(sched, nodes, window=4, max_rounds=50)
+        assert result.unanimous_output() == 42
+
+
+class TestSublinearConsensus:
+    @pytest.mark.parametrize("adv_name", ["fresh", "handoff_T2", "churn"])
+    def test_agreement_validity(self, adv_name):
+        n = 32
+        sched = adversary_zoo(n)[adv_name]
+        nodes = [SublinearConsensus(i + 100, proposal=f"p{i}")
+                 for i in range(n)]
+        result = run_quiescent(sched, nodes, max_rounds=40 * n + 400)
+        assert result.unanimous_output() == "p0"  # min id wins
+
+    def test_arbitrary_id_order(self):
+        n = 16
+        ids = [50 - i for i in range(n)]  # descending ids
+        sched = FreshSpanningAdversary(n, seed=3)
+        nodes = [SublinearConsensus(ids[i], proposal=ids[i])
+                 for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        assert result.unanimous_output() == min(ids)
+
+
+class TestExactCount:
+    @pytest.mark.parametrize("adv_name", list(adversary_zoo(8)))
+    def test_exact_on_all_adversaries(self, adv_name):
+        n = 32
+        sched = adversary_zoo(n)[adv_name]
+        nodes = [ExactCount(i * 3 + 1) for i in range(n)]
+        result = run_quiescent(sched, nodes, max_rounds=40 * n + 400)
+        assert result.unanimous_output() == n
+
+    def test_stabilization_bound(self):
+        n = 48
+        sched = OverlapHandoffAdversary(n, 2, seed=7)
+        d = dynamic_diameter(sched)
+        nodes = [ExactCount(i) for i in range(n)]
+        result = run_quiescent(sched, nodes, seed=7)
+        assert result.metrics.last_decision_round <= quiescence_rounds_bound(d)
+
+    def test_progress_attribute_for_adaptive_adversaries(self):
+        node = ExactCount(3)
+        assert node.progress == 0
+
+    def test_retractions_happen_and_resolve(self):
+        """Under fresh per-round rewiring some node sees a quiet round
+        before convergence, decides early, then retracts when late
+        information arrives; the final output is still exact — the
+        stabilizing contract."""
+        n = 24
+        sched = FreshSpanningAdversary(n, seed=5)
+        nodes = [ExactCount(i, initial_window=1) for i in range(n)]
+        result = run_quiescent(sched, nodes, max_rounds=3000, window=64)
+        assert result.unanimous_output() == n
+        assert result.metrics.counters.get("retractions", 0) >= 1
+
+
+class TestApproxCount:
+    def test_estimate_within_eps_typically(self):
+        n, eps = 64, 0.25
+        hits = 0
+        trials = 8
+        for seed in range(trials):
+            sched = OverlapHandoffAdversary(n, 2, seed=seed)
+            nodes = [ApproxCount(i, eps=eps, delta=0.05) for i in range(n)]
+            result = run_quiescent(sched, nodes, seed=seed + 50)
+            if abs(result.unanimous_output() / n - 1) <= eps:
+                hits += 1
+        assert hits >= trials - 2  # delta=5%; allow slack for 8 trials
+
+    def test_unanimity(self):
+        n = 32
+        sched = FreshSpanningAdversary(n, seed=4)
+        nodes = [ApproxCount(i, width=16) for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        result.unanimous_output()  # raises if nodes disagree
+
+    def test_width_parameter(self):
+        node = ApproxCount(0, width=8)
+        assert node.sketch.width == 8
+
+    def test_geometric_family(self):
+        n = 32
+        sched = FreshSpanningAdversary(n, seed=4)
+        nodes = [ApproxCount(i, width=64, family="geometric")
+                 for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        est = result.unanimous_output()
+        assert n / 5 < est < n * 5
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown sketch family"):
+            ApproxCount(0, width=8, family="quantum")
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ValueError, match="width or both"):
+            ApproxCount(0)
+
+
+class TestKnownBoundVariants:
+    def test_halting_with_good_bound(self):
+        n = 48
+        sched = FreshSpanningAdversary(n, seed=6)
+        d = dynamic_diameter(sched)
+        cases = [
+            ([ExactCountKnownBound(i, rounds_bound=d) for i in range(n)], n),
+            ([MaxKnownBound(i, i % 19, rounds_bound=d) for i in range(n)],
+             max(i % 19 for i in range(n))),
+            ([ConsensusKnownBound(i, f"p{i}", rounds_bound=d)
+              for i in range(n)], "p0"),
+        ]
+        for nodes, expected in cases:
+            result = Simulator(sched, nodes, rng=RngRegistry(1)).run(
+                max_rounds=d + 1)
+            assert result.unanimous_output() == expected
+            assert result.stop_reason == "halted"
+            assert result.rounds == d
+
+    def test_approx_known_bound(self):
+        n = 64
+        sched = FreshSpanningAdversary(n, seed=6)
+        d = dynamic_diameter(sched)
+        nodes = [ApproxCountKnownBound(i, rounds_bound=d + 1, width=256)
+                 for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(2)).run(
+            max_rounds=d + 2)
+        assert abs(result.unanimous_output() / n - 1) < 0.4
+
+    def test_insufficient_bound_documented_failure(self):
+        """bound < d can decide before convergence — nodes then disagree
+        or report a subcount.  This is the price of halting without the
+        knowledge assumption being true."""
+        n = 24
+        sched = StaticAdversary(n, line_graph(n))  # d = 23
+        nodes = [ExactCountKnownBound(i, rounds_bound=3) for i in range(n)]
+        result = Simulator(sched, nodes).run(max_rounds=4)
+        assert any(v != n for v in result.outputs.values())
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            ExactCountKnownBound(0, rounds_bound=0)

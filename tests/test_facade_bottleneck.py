@@ -1,0 +1,161 @@
+"""Tests for the one-call facade, the deterministic token protocol, and
+the bandwidth-bottleneck adversary."""
+
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.api import PROBLEMS, SolveResult, solve
+from repro.baselines import (
+    DeterministicTokenDissemination,
+    RandomTokenDissemination,
+)
+from repro.baselines.token import dissemination_complete
+from repro.core import ExactCount
+from repro.errors import ConfigurationError, ScheduleError
+from repro.dynamics import (
+    BottleneckBridgeAdversary,
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    verify_t_interval_connectivity,
+)
+
+
+class TestSolveFacade:
+    def net(self, n=40):
+        return OverlapHandoffAdversary(n, 2, seed=3)
+
+    def test_count(self):
+        res = solve("count", self.net())
+        assert res.output == 40
+        assert res.decision_round < 40  # O(d), not O(N)
+        assert isinstance(res, SolveResult)
+
+    def test_count_approx(self):
+        res = solve("count", self.net(), mode="approx", eps=0.5, delta=0.1)
+        assert abs(res.output / 40 - 1) < 1.0
+
+    def test_count_known_bound(self):
+        res = solve("count", self.net(), mode="known_bound", rounds_bound=39)
+        assert res.output == 40
+        assert res.rounds_executed == 39
+
+    def test_max_and_consensus(self):
+        inputs = [(i * 3) % 17 for i in range(40)]
+        assert solve("max", self.net(), inputs=inputs).output == max(inputs)
+        assert solve("consensus", self.net(),
+                     inputs=[f"p{i}" for i in range(40)]).output == "p0"
+
+    def test_sum_mean_topk_leader(self):
+        res = solve("sum", self.net(), inputs=[2.0] * 40, eps=0.25)
+        assert abs(res.output / 80 - 1) < 0.6
+        res = solve("mean", self.net(), inputs=[3.0] * 40, eps=0.25)
+        assert abs(res.output / 3.0 - 1) < 0.8
+        res = solve("top_k", self.net(), inputs=list(range(40)), k=2)
+        assert res.output == ((39, 39), (38, 38))
+        assert solve("leader", self.net()).output == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="needs inputs"):
+            solve("max", self.net())
+        with pytest.raises(ConfigurationError, match="rounds_bound"):
+            solve("count", self.net(), mode="known_bound")
+        with pytest.raises(ConfigurationError, match="problem"):
+            solve("median", self.net())
+        with pytest.raises(ConfigurationError, match="applies to 'count'"):
+            solve("max", self.net(), inputs=[0] * 40, mode="approx")
+        with pytest.raises(ConfigurationError, match="40 nodes"):
+            solve("max", self.net(), inputs=[1, 2, 3])
+
+    def test_str_is_informative(self):
+        res = solve("count", self.net())
+        assert "decided by round" in str(res)
+
+    def test_problems_constant(self):
+        assert "count" in PROBLEMS and "leader" in PROBLEMS
+
+
+class TestDeterministicToken:
+    def test_peek_matches_compose(self):
+        node = DeterministicTokenDissemination(5)
+        node.tokens.update({2, 9})
+
+        class Ctx:
+            round_index = 1
+            rng = None
+
+            @staticmethod
+            def incr(name, amount=1):
+                pass
+
+        for _ in range(6):  # across sweep wrap-around
+            predicted = node.peek_broadcast()
+            assert int(node.compose(Ctx())) == predicted
+
+    def test_sweep_cycles_through_all_tokens(self):
+        node = DeterministicTokenDissemination(1)
+        node.tokens.update({3, 7})
+
+        class Ctx:
+            round_index = 1
+            rng = None
+
+            @staticmethod
+            def incr(name, amount=1):
+                pass
+
+        sent = [int(node.compose(Ctx())) for _ in range(3)]
+        assert sorted(sent) == [1, 3, 7]
+
+    def test_disseminates_and_counts(self):
+        n = 24
+        sched = FreshSpanningAdversary(n, seed=4)
+        nodes = [DeterministicTokenDissemination(i, target_count=n)
+                 for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(2)).run(
+            max_rounds=5000, until="decided")
+        assert result.unanimous_output() == n
+
+
+class TestBottleneckBridge:
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            BottleneckBridgeAdversary(3, 2)
+        with pytest.raises(ScheduleError):
+            BottleneckBridgeAdversary(8, 0)
+
+    @pytest.mark.parametrize("T", [1, 2, 4])
+    def test_realized_promise(self, T):
+        n = 12
+        adv = BottleneckBridgeAdversary(n, T)
+        nodes = [DeterministicTokenDissemination(i) for i in range(n)]
+        res = Simulator(adv, nodes, rng=RngRegistry(1)).run(
+            max_rounds=2000,
+            stop_when=lambda s: dissemination_complete(s.nodes, n),
+            allow_timeout=True)
+        ok, bad = verify_t_interval_connectivity(
+            adv.to_explicit(), T, horizon=res.rounds, raise_on_failure=False)
+        assert ok, f"window {bad}"
+
+    def test_bandwidth_bottleneck_vs_aggregates(self):
+        """The headline separation on this instance: token forwarding
+        needs Omega(N) rounds despite d = O(1); the aggregate-based core
+        still finishes in O(d)."""
+        n = 32
+        # token forwarding: one token per round crosses the bridge
+        adv = BottleneckBridgeAdversary(n, 2)
+        nodes = [DeterministicTokenDissemination(i) for i in range(n)]
+        res = Simulator(adv, nodes, rng=RngRegistry(1)).run(
+            max_rounds=10_000,
+            stop_when=lambda s: dissemination_complete(s.nodes, n),
+            allow_timeout=True)
+        token_rounds = res.rounds
+        assert token_rounds >= n  # bridge capacity forces Omega(N)
+
+        # aggregate-based exact count: O(d) on the same instance
+        adv2 = BottleneckBridgeAdversary(n, 2)
+        nodes2 = [ExactCount(i) for i in range(n)]
+        res2 = Simulator(adv2, nodes2, rng=RngRegistry(1)).run(
+            max_rounds=10_000, until="quiescent", quiescence_window=32)
+        assert res2.unanimous_output() == n
+        assert res2.metrics.last_decision_round <= 12
+        assert res2.metrics.last_decision_round * 4 < token_rounds

@@ -1,0 +1,162 @@
+"""Tests for the generalized aggregates (Sum/Mean/Top-k/leader election)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RngRegistry, Simulator
+from repro.core import ApproxMean, ApproxSum, LeaderElect, TopK
+from repro.core.generalized import TopKAggregate, _weighted_draws
+from repro.dynamics import (
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    StaticAdversary,
+    line_graph,
+)
+from tests.conftest import run_quiescent
+
+
+class TestWeightedDraws:
+    def test_zero_weight_is_infinite(self, rng):
+        draws = _weighted_draws(8, 0.0, rng)
+        assert np.isinf(draws).all()
+
+    def test_negative_weight_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _weighted_draws(8, -1.0, rng)
+
+    def test_scaling(self, rng):
+        """Exp(w) minima concentrate at 1/(N*w): doubling the weight
+        halves the draws in distribution."""
+        light = _weighted_draws(4000, 1.0, rng).mean()
+        heavy = _weighted_draws(4000, 4.0, rng).mean()
+        assert light / heavy == pytest.approx(4.0, rel=0.2)
+
+
+class TestApproxSum:
+    def test_estimates_weighted_sum(self):
+        n = 80
+        sched = OverlapHandoffAdversary(n, 2, seed=4)
+        weights = [(i % 5) + 0.5 for i in range(n)]
+        nodes = [ApproxSum(i, weights[i], eps=0.2, delta=0.05)
+                 for i in range(n)]
+        result = run_quiescent(sched, nodes, seed=2)
+        est = result.unanimous_output()
+        assert abs(est / sum(weights) - 1) < 0.35
+
+    def test_zero_weights_ignored(self):
+        n = 40
+        sched = FreshSpanningAdversary(n, seed=2)
+        # only node 0 has weight; sum should be ~its weight
+        nodes = [ApproxSum(i, 100.0 if i == 0 else 0.0, width=512)
+                 for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        assert abs(result.unanimous_output() / 100.0 - 1) < 0.25
+
+    def test_all_zero_weights_report_zero(self):
+        n = 8
+        sched = FreshSpanningAdversary(n, seed=2)
+        nodes = [ApproxSum(i, 0.0, width=16) for i in range(n)]
+        result = run_quiescent(sched, nodes, window=8)
+        assert result.unanimous_output() == 0.0
+
+    def test_count_is_special_case(self):
+        """All weights 1 -> the Count estimator."""
+        n = 64
+        sched = FreshSpanningAdversary(n, seed=3)
+        nodes = [ApproxSum(i, 1.0, width=256) for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        assert abs(result.unanimous_output() / n - 1) < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproxSum(0, -1.0, width=8)
+        with pytest.raises(ValueError, match="width or both"):
+            ApproxSum(0, 1.0)
+
+
+class TestApproxMean:
+    def test_estimates_mean(self):
+        n = 80
+        sched = OverlapHandoffAdversary(n, 2, seed=9)
+        values = [float(i % 7) for i in range(n)]
+        nodes = [ApproxMean(i, values[i], eps=0.2, delta=0.05)
+                 for i in range(n)]
+        result = run_quiescent(sched, nodes, seed=4)
+        true_mean = sum(values) / n
+        assert abs(result.unanimous_output() / true_mean - 1) < 0.4
+
+    def test_all_zero_values(self):
+        n = 8
+        sched = FreshSpanningAdversary(n, seed=2)
+        nodes = [ApproxMean(i, 0.0, width=16) for i in range(n)]
+        result = run_quiescent(sched, nodes, window=8)
+        assert result.unanimous_output() == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ApproxMean(0, -2.0, width=8)
+
+
+class TestTopKAggregateLaws:
+    values = st.tuples(st.integers(min_value=0, max_value=50),
+                       st.integers(min_value=0, max_value=30))
+    states = st.lists(values, max_size=6).map(
+        lambda xs: tuple(sorted(set(xs), reverse=True)[:3]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=states, b=states, c=states)
+    def test_laws(self, a, b, c):
+        agg = TopKAggregate(3)
+        assert agg.merge(a, b) == agg.merge(b, a)
+        assert agg.merge(a, a) == a
+        assert agg.merge(agg.merge(a, b), c) == agg.merge(a, agg.merge(b, c))
+
+    def test_encode_decode(self):
+        agg = TopKAggregate(2)
+        state = ((5, 1), (3, 2))
+        assert agg.decode(agg.encode(state)) == state
+
+
+class TestTopK:
+    def test_finds_k_largest_with_owners(self):
+        n = 50
+        sched = FreshSpanningAdversary(n, seed=6)
+        values = [(i * 11) % 71 for i in range(n)]
+        nodes = [TopK(i, values[i], k=4) for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        expected = tuple(sorted(((values[i], i) for i in range(n)),
+                                reverse=True)[:4])
+        assert result.unanimous_output() == expected
+
+    def test_k_one_is_max_with_witness(self):
+        n = 20
+        sched = StaticAdversary(n, line_graph(n))
+        nodes = [TopK(i, i % 9, k=1) for i in range(n)]
+        result = run_quiescent(sched, nodes, max_rounds=3000, window=64)
+        (value, owner), = result.unanimous_output()
+        assert value == 8 and owner % 9 == 8
+
+    def test_k_exceeding_n_returns_all(self):
+        n = 5
+        sched = FreshSpanningAdversary(n, seed=1)
+        nodes = [TopK(i, i, k=10) for i in range(n)]
+        result = run_quiescent(sched, nodes, window=8)
+        assert len(result.unanimous_output()) == n
+
+
+class TestLeaderElect:
+    def test_min_id_wins(self):
+        n = 30
+        ids = [i * 3 + 7 for i in range(n)]
+        sched = FreshSpanningAdversary(n, seed=8)
+        nodes = [LeaderElect(ids[i]) for i in range(n)]
+        result = run_quiescent(sched, nodes)
+        assert result.unanimous_output() == min(ids)
+        leaders = [node for node in nodes if node.is_leader]
+        assert len(leaders) == 1
+        assert leaders[0].node_id == min(ids)
+
+    def test_is_leader_false_before_decision(self):
+        node = LeaderElect(3)
+        assert not node.is_leader

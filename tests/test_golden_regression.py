@@ -1,0 +1,81 @@
+"""Golden regression tests: exact values pinned for fixed seeds.
+
+These freeze the observable behaviour of the deterministic pieces (and
+the seed-determined behaviour of the randomized ones) so that
+refactorings — cache layers, engine changes, aggregate tweaks — cannot
+silently alter results.  If a change legitimately alters behaviour, the
+goldens must be updated consciously, with the diff explaining why.
+"""
+
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.baselines import KCommitteeCount
+from repro.baselines.klo import total_rounds_prediction
+from repro.core import ApproxCount, ExactCount
+from repro.core.sketches import required_width
+from repro.dynamics import (
+    OverlapHandoffAdversary,
+    StaticAdversary,
+    dynamic_diameter,
+    line_graph,
+    ring_of_cliques,
+)
+
+
+class TestDeterministicGoldens:
+    def test_klo_prediction_table(self):
+        expected = {1: 9, 2: 9, 4: 82, 8: 288, 16: 1082, 32: 4204,
+                    64: 16590, 128: 65936}
+        for n, rounds in expected.items():
+            assert total_rounds_prediction(n) == rounds, n
+
+    def test_schedule_fingerprint(self):
+        """First-round edge set of a seeded adversary is frozen."""
+        adv = OverlapHandoffAdversary(8, 2, noise_edges=2, seed=42)
+        assert adv.edges(1).tolist() == [[0, 2], [0, 4], [0, 6], [1, 6],
+                                         [3, 4], [3, 6], [4, 5], [6, 7]]
+
+    def test_dynamic_diameters(self):
+        assert dynamic_diameter(StaticAdversary(50, line_graph(50))) == 49
+        assert dynamic_diameter(
+            StaticAdversary(64, ring_of_cliques(64, 8))) == 9
+
+    def test_required_widths(self):
+        assert required_width(0.5, 0.1) == 10
+        assert required_width(0.25, 0.1) == 43
+        assert required_width(0.1, 0.05) == 385
+
+
+class TestSeededRunGoldens:
+    def test_exact_count_run_fingerprint(self):
+        n = 32
+        sched = OverlapHandoffAdversary(n, 2, seed=7)
+        nodes = [ExactCount(i) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(7)).run(
+            max_rounds=4000, until="quiescent", quiescence_window=32)
+        assert result.unanimous_output() == 32
+        assert result.metrics.last_decision_round == 8
+        assert result.rounds == 38
+
+    def test_klo_run_fingerprint(self):
+        n = 10
+        sched = OverlapHandoffAdversary(n, 2, seed=3)
+        nodes = [KCommitteeCount(i) for i in range(n)]
+        result = Simulator(sched, nodes).run(max_rounds=2000)
+        assert result.unanimous_output() == 10
+        assert result.rounds == total_rounds_prediction(10) == 1082
+
+    def test_approx_count_estimate_fingerprint(self):
+        n = 64
+        sched = OverlapHandoffAdversary(n, 2, seed=11)
+        nodes = [ApproxCount(i, width=32) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(11)).run(
+            max_rounds=4000, until="quiescent", quiescence_window=32)
+        assert result.unanimous_output() == pytest.approx(
+            56.31518094904481, rel=1e-9)
+        assert result.metrics.last_decision_round == 9
+
+    def test_node_rng_stream_fingerprint(self):
+        gen = RngRegistry(7).for_node("node", 3)
+        assert gen.integers(1000, size=4).tolist() == [322, 934, 101, 947]

@@ -1,0 +1,99 @@
+"""Tests for schedule characterisation statistics."""
+
+import pytest
+
+from repro.analysis import (
+    characterize,
+    degree_stats,
+    edge_churn_rate,
+    spectral_gap,
+)
+from repro.dynamics import (
+    ExplicitSchedule,
+    FreshSpanningAdversary,
+    StaticAdversary,
+    complete_graph,
+    line_graph,
+    star_graph,
+)
+
+
+class TestDegreeStats:
+    def test_line(self):
+        stats = degree_stats(StaticAdversary(10, line_graph(10)))
+        assert stats["degree_min"] == 1.0
+        assert stats["degree_max"] == 2.0
+        assert stats["degree_mean"] == pytest.approx(1.8)
+
+    def test_complete(self):
+        stats = degree_stats(StaticAdversary(6, complete_graph(6)))
+        assert stats["degree_min"] == stats["degree_max"] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            degree_stats(StaticAdversary(4, line_graph(4)), rounds=0)
+
+
+class TestEdgeChurn:
+    def test_static_zero(self):
+        assert edge_churn_rate(StaticAdversary(10, line_graph(10))) == 0.0
+
+    def test_fresh_high(self):
+        rate = edge_churn_rate(FreshSpanningAdversary(20, seed=1))
+        assert rate > 0.7
+
+    def test_alternating_pattern(self):
+        a = [(0, 1), (1, 2)]
+        b = [(0, 2), (1, 2)]
+        sched = ExplicitSchedule(3, [a, b] * 4, cycle=True)
+        rate = edge_churn_rate(sched, rounds=8)
+        # each transition replaces 1 of 2 edges: Jaccard 1/3, churn 2/3
+        assert rate == pytest.approx(2 / 3)
+
+    def test_single_round_zero(self):
+        assert edge_churn_rate(StaticAdversary(4, line_graph(4)),
+                               rounds=1) == 0.0
+
+
+class TestSpectralGap:
+    def test_complete_largest(self):
+        line = spectral_gap(StaticAdversary(12, line_graph(12)))
+        star = spectral_gap(StaticAdversary(12, star_graph(12)))
+        complete = spectral_gap(StaticAdversary(12, complete_graph(12)))
+        assert line < star <= complete + 1e-9
+
+    def test_disconnected_zero(self):
+        sched = ExplicitSchedule(4, [[(0, 1), (2, 3)]], cycle=True)
+        assert spectral_gap(sched, rounds=2) == 0.0
+
+    def test_isolated_node_zero(self):
+        sched = ExplicitSchedule(3, [[(0, 1)]], cycle=True)
+        assert spectral_gap(sched, rounds=2) == 0.0
+
+    def test_single_node(self):
+        sched = ExplicitSchedule(1, [[]], cycle=True)
+        assert spectral_gap(sched) == 0.0
+
+
+class TestCharacterize:
+    def test_full_row(self):
+        row = characterize(StaticAdversary(10, line_graph(10)))
+        assert row["dynamic_diameter"] == 9.0
+        assert row["edge_churn"] == 0.0
+        assert "spectral_gap" in row
+
+    def test_diameter_override_and_no_spectral(self):
+        row = characterize(StaticAdversary(10, line_graph(10)),
+                           include_spectral=False, diameter=42)
+        assert row["dynamic_diameter"] == 42.0
+        assert "spectral_gap" not in row
+
+    def test_fresh_vs_line_tells_the_story(self):
+        """Same degree profile, wildly different diameters — the point of
+        d-parameterisation."""
+        line = characterize(StaticAdversary(24, line_graph(24)),
+                            include_spectral=False)
+        fresh = characterize(FreshSpanningAdversary(24, seed=2),
+                             include_spectral=False)
+        assert abs(line["degree_mean"] - fresh["degree_mean"]) < 0.2
+        assert fresh["dynamic_diameter"] < line["dynamic_diameter"] / 2

@@ -1,0 +1,87 @@
+"""Tests for HybridCount: halting, zero-knowledge, w.h.p.-exact Count."""
+
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.core import HybridCount
+from repro.dynamics import (
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    StaticAdversary,
+    line_graph,
+    star_graph,
+)
+
+
+def run_hybrid(sched, seed=1, **node_kwargs):
+    n = sched.num_nodes
+    nodes = [HybridCount(i, **node_kwargs) for i in range(n)]
+    result = Simulator(sched, nodes, rng=RngRegistry(seed)).run(
+        max_rounds=20 * n + 400)
+    return result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [4, 16, 48])
+    def test_exact_on_handoff(self, n):
+        result = run_hybrid(OverlapHandoffAdversary(n, 2, seed=n))
+        assert result.unanimous_output() == n
+        assert result.stop_reason == "halted"
+
+    def test_exact_on_worst_case_line(self):
+        n = 40
+        result = run_hybrid(StaticAdversary(n, line_graph(n)))
+        assert result.unanimous_output() == n
+
+    def test_exact_on_star(self):
+        n = 30
+        result = run_hybrid(StaticAdversary(n, star_graph(n)))
+        assert result.unanimous_output() == n
+
+    def test_exact_across_seeds(self):
+        """The w.h.p. guarantee: no failures across a seed batch."""
+        n = 32
+        for seed in range(10):
+            result = run_hybrid(FreshSpanningAdversary(n, seed=seed),
+                                seed=seed)
+            assert result.unanimous_output() == n, seed
+
+
+class TestComplexity:
+    def test_rounds_linear_in_n(self):
+        """Halting around safety_factor * N — linear, not quadratic."""
+        rounds = {}
+        for n in [32, 64, 128]:
+            result = run_hybrid(OverlapHandoffAdversary(n, 2, seed=5))
+            rounds[n] = result.rounds
+            assert n <= result.rounds <= 2.2 * n
+        assert rounds[128] < 4.1 * rounds[32]  # linear-ish doubling
+
+    def test_cannot_fire_early(self):
+        """The trigger is impossible while the heard-set still grows:
+        nobody halts before round ~N even on a fast expander."""
+        n = 64
+        result = run_hybrid(FreshSpanningAdversary(n, seed=2))
+        first = result.metrics.first_decision_round
+        assert first >= n  # c(1-eps) > 1 forbids earlier firing
+
+    def test_larger_safety_factor_waits_longer(self):
+        n = 32
+        fast = run_hybrid(OverlapHandoffAdversary(n, 2, seed=3),
+                          safety_factor=1.2).rounds
+        slow = run_hybrid(OverlapHandoffAdversary(n, 2, seed=3),
+                          safety_factor=3.0).rounds
+        assert slow > fast
+
+
+class TestValidation:
+    def test_safety_factor_must_exceed_one(self):
+        with pytest.raises(ValueError, match="> 1"):
+            HybridCount(0, safety_factor=1.0)
+        with pytest.raises(Exception):
+            HybridCount(0, safety_factor=-2)
+
+    def test_single_node(self):
+        sched = StaticAdversary(1, [])
+        result = run_hybrid(sched)
+        assert result.unanimous_output() == 1

@@ -1,0 +1,122 @@
+"""Tests for the Kuhn–Lynch–Oshman-style k-committee counting baseline."""
+
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.baselines import KCommitteeCount
+from repro.baselines.klo import epoch_length, total_rounds_prediction
+from repro.dynamics import (
+    AlternatingMatchingsAdversary,
+    EdgeChurnAdversary,
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    StaticAdversary,
+    line_graph,
+    random_tree_graph,
+    star_graph,
+)
+import numpy as np
+
+
+def run_klo(schedule, n, ids=None, seed=1):
+    ids = ids if ids is not None else list(range(n))
+    nodes = [KCommitteeCount(i) for i in ids]
+    sim = Simulator(schedule, nodes, rng=RngRegistry(seed))
+    budget = 4 * total_rounds_prediction(n) + 100
+    return sim.run(max_rounds=budget)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 12])
+    def test_exact_count_on_static_line(self, n):
+        result = run_klo(StaticAdversary(n, line_graph(n)), n)
+        assert result.unanimous_output() == n
+
+    @pytest.mark.parametrize("n", [5, 9])
+    def test_exact_on_star(self, n):
+        result = run_klo(StaticAdversary(n, star_graph(n)), n)
+        assert result.unanimous_output() == n
+
+    def test_exact_on_fresh_dynamics(self):
+        n = 14
+        result = run_klo(FreshSpanningAdversary(n, seed=3), n)
+        assert result.unanimous_output() == n
+
+    def test_exact_on_alternating(self):
+        n = 11
+        result = run_klo(AlternatingMatchingsAdversary(n), n)
+        assert result.unanimous_output() == n
+
+    def test_exact_on_churn(self, rng):
+        n = 10
+        adv = EdgeChurnAdversary(n, random_tree_graph(n, rng), seed=2)
+        result = run_klo(adv, n)
+        assert result.unanimous_output() == n
+
+    def test_arbitrary_non_contiguous_ids(self):
+        n = 9
+        ids = [3, 17, 42, 100, 5, 77, 8, 901, 13]
+        result = run_klo(FreshSpanningAdversary(n, seed=1), n, ids=ids)
+        assert result.unanimous_output() == n
+
+
+class TestRoundComplexity:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 20])
+    def test_rounds_match_closed_form(self, n):
+        """The algorithm is deterministic: measured == predicted exactly."""
+        result = run_klo(StaticAdversary(n, line_graph(n)), n)
+        assert result.rounds == total_rounds_prediction(n)
+
+    def test_rounds_independent_of_topology(self):
+        n = 12
+        r1 = run_klo(StaticAdversary(n, line_graph(n)), n).rounds
+        r2 = run_klo(FreshSpanningAdversary(n, seed=9), n).rounds
+        assert r1 == r2
+
+    def test_prediction_quadratic_growth(self):
+        small = total_rounds_prediction(16)
+        large = total_rounds_prediction(64)
+        ratio = large / small
+        assert 8 < ratio < 32  # ~16x for 4x n (Theta(n^2))
+
+    def test_epoch_length_components(self):
+        assert epoch_length(1, success=False) == 3 + 3
+        assert epoch_length(1, success=True) == 3 + 3 + 3
+        assert epoch_length(4, success=False) == 48 + 6
+
+    def test_initial_guess_skips_epochs(self):
+        assert (total_rounds_prediction(16, initial_guess=16)
+                < total_rounds_prediction(16, initial_guess=1))
+
+
+class TestKnowledgeAssumptions:
+    def test_no_n_parameter_needed(self):
+        # Constructing a node requires only its id.
+        node = KCommitteeCount(5)
+        assert node.k == 1
+        assert not node.decided
+
+    def test_larger_initial_guess_still_exact(self):
+        n = 7
+        sched = FreshSpanningAdversary(n, seed=4)
+        nodes = [KCommitteeCount(i, initial_guess=4) for i in range(n)]
+        result = Simulator(sched, nodes).run(max_rounds=10_000)
+        assert result.unanimous_output() == n
+
+
+class TestGuessGrowth:
+    @pytest.mark.parametrize("growth", [2, 3, 4])
+    def test_prediction_matches_simulation(self, growth):
+        n = 11
+        sched = FreshSpanningAdversary(n, seed=2)
+        nodes = [KCommitteeCount(i, guess_growth=growth) for i in range(n)]
+        result = Simulator(sched, nodes).run(max_rounds=30_000)
+        assert result.unanimous_output() == n
+        assert result.rounds == total_rounds_prediction(n,
+                                                        guess_growth=growth)
+
+    def test_growth_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            KCommitteeCount(0, guess_growth=1)
+        with pytest.raises(ValueError):
+            total_rounds_prediction(8, guess_growth=1)

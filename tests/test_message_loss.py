@@ -1,0 +1,123 @@
+"""Tests for the message-loss extension (engine loss_rate)."""
+
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.core import ExactCount, ExactCountKnownBound, SublinearMax
+from repro.errors import ConfigurationError
+from repro.dynamics import (
+    OverlapHandoffAdversary,
+    StaticAdversary,
+    complete_graph,
+    dynamic_diameter,
+)
+from repro.simnet.node import Algorithm
+
+
+class CountInbox(Algorithm):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = 0
+
+    def compose(self, ctx):
+        return 1
+
+    def deliver(self, ctx, inbox):
+        self.received += len(inbox)
+
+
+class TestLossMechanics:
+    def test_zero_loss_delivers_everything(self):
+        n = 8
+        sched = StaticAdversary(n, complete_graph(n))
+        nodes = [CountInbox(i) for i in range(n)]
+        sim = Simulator(sched, nodes, rng=RngRegistry(1), loss_rate=0.0)
+        for _ in range(5):
+            sim.step()
+        assert all(node.received == 5 * (n - 1) for node in nodes)
+
+    def test_loss_drops_roughly_the_rate(self):
+        n = 10
+        sched = StaticAdversary(n, complete_graph(n))
+        nodes = [CountInbox(i) for i in range(n)]
+        rate = 0.4
+        rounds = 40
+        sim = Simulator(sched, nodes, rng=RngRegistry(1), loss_rate=rate)
+        for _ in range(rounds):
+            sim.step()
+        total = sum(node.received for node in nodes)
+        expected = rounds * n * (n - 1) * (1 - rate)
+        assert abs(total / expected - 1) < 0.1
+        lost = sim.metrics.snapshot().counters["messages_lost"]
+        assert total + lost == rounds * n * (n - 1)
+
+    def test_loss_is_seeded_deterministic(self):
+        def run(seed):
+            n = 8
+            sched = StaticAdversary(n, complete_graph(n))
+            nodes = [CountInbox(i) for i in range(n)]
+            sim = Simulator(sched, nodes, rng=RngRegistry(seed),
+                            loss_rate=0.5)
+            for _ in range(10):
+                sim.step()
+            return [node.received for node in nodes]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_validation(self):
+        n = 4
+        sched = StaticAdversary(n, complete_graph(n))
+        nodes = [CountInbox(i) for i in range(n)]
+        with pytest.raises(ConfigurationError, match="loss_rate"):
+            Simulator(sched, nodes, loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            Simulator(sched, nodes, loss_rate=-0.1)
+
+
+class TestAlgorithmsUnderLoss:
+    def test_stabilizing_stays_exact(self):
+        n = 48
+        sched = OverlapHandoffAdversary(n, 2, seed=1)
+        for loss in [0.3, 0.7]:
+            nodes = [ExactCount(i) for i in range(n)]
+            result = Simulator(sched, nodes, rng=RngRegistry(5),
+                               loss_rate=loss).run(
+                max_rounds=40_000, until="quiescent",
+                quiescence_window=128)
+            assert result.unanimous_output() == n, loss
+
+    def test_stabilizing_max_stays_exact(self):
+        n = 32
+        sched = OverlapHandoffAdversary(n, 2, seed=2)
+        nodes = [SublinearMax(i, (i * 5) % 61) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(5),
+                           loss_rate=0.5).run(
+            max_rounds=40_000, until="quiescent", quiescence_window=128)
+        assert result.unanimous_output() == max((i * 5) % 61
+                                                for i in range(n))
+
+    def test_rounds_degrade_with_loss(self):
+        n = 48
+        sched = OverlapHandoffAdversary(n, 2, seed=1)
+
+        def rounds(loss):
+            nodes = [ExactCount(i) for i in range(n)]
+            result = Simulator(sched, nodes, rng=RngRegistry(5),
+                               loss_rate=loss).run(
+                max_rounds=40_000, until="quiescent",
+                quiescence_window=128)
+            return result.metrics.last_decision_round
+
+        assert rounds(0.0) < rounds(0.7)
+
+    def test_known_bound_breaks_under_heavy_loss(self):
+        """The documented hazard: a bound valid for the promised graphs
+        is not valid for their lossy subgraphs."""
+        n = 64
+        sched = OverlapHandoffAdversary(n, 2, seed=1)
+        d = dynamic_diameter(sched)
+        nodes = [ExactCountKnownBound(i, rounds_bound=d) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(3),
+                           loss_rate=0.6).run(max_rounds=d + 1)
+        assert any(v != n for v in result.outputs.values())

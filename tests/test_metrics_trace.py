@@ -1,0 +1,102 @@
+"""Unit tests for metrics accounting and trace recording."""
+
+from repro.simnet.metrics import MetricsCollector
+from repro.simnet.trace import TraceEvent, TraceRecorder
+
+
+class TestMetricsCollector:
+    def test_broadcast_accounting(self):
+        m = MetricsCollector()
+        m.on_broadcast(bits=10, degree=3)
+        m.on_broadcast(bits=5, degree=0)
+        snap = m.snapshot()
+        assert snap.broadcasts == 2
+        assert snap.delivered_messages == 3
+        assert snap.broadcast_bits == 15
+        assert snap.delivered_bits == 30
+
+    def test_round_counter(self):
+        m = MetricsCollector()
+        for _ in range(4):
+            m.on_round_executed()
+        assert m.snapshot().rounds == 4
+
+    def test_decisions_first_and_last(self):
+        m = MetricsCollector()
+        m.on_decision(1, 5)
+        m.on_decision(2, 9)
+        snap = m.snapshot()
+        assert snap.first_decision_round == 5
+        assert snap.last_decision_round == 9
+        assert snap.decision_rounds == {1: 5, 2: 9}
+
+    def test_retraction_clears_decision_and_counts(self):
+        m = MetricsCollector()
+        m.on_decision(1, 5)
+        m.on_retraction(1)
+        m.on_decision(1, 12)
+        snap = m.snapshot()
+        assert snap.decision_rounds == {1: 12}
+        assert snap.counters["retractions"] == 1
+
+    def test_no_decisions_yields_none(self):
+        snap = MetricsCollector().snapshot()
+        assert snap.first_decision_round is None
+        assert snap.last_decision_round is None
+
+    def test_custom_counters(self):
+        m = MetricsCollector()
+        m.incr("phases")
+        m.incr("phases", 4)
+        assert m.snapshot().counters["phases"] == 5
+
+    def test_as_dict_flattens(self):
+        m = MetricsCollector()
+        m.incr("x")
+        d = m.snapshot().as_dict()
+        assert d["counter.x"] == 1
+        assert "rounds" in d and "broadcast_bits" in d
+
+    def test_decided_nodes_sorted(self):
+        m = MetricsCollector()
+        m.on_decision(5, 1)
+        m.on_decision(2, 1)
+        assert m.decided_nodes() == (2, 5)
+
+
+class TestTraceRecorder:
+    def test_records_and_queries(self):
+        t = TraceRecorder()
+        t.record(TraceEvent(1, "round", None))
+        t.record(TraceEvent(1, "decide", 3, "v"))
+        t.note(2, "phase start", node_id=3)
+        assert len(t) == 3
+        assert t.of_kind("decide")[0].payload == "v"
+        assert len(t.for_node(3)) == 2
+        assert len(t.filter(lambda e: e.round_index == 1)) == 2
+
+    def test_broadcast_filter(self):
+        t = TraceRecorder(record_broadcasts=False)
+        t.record(TraceEvent(1, "broadcast", 0, "m"))
+        assert len(t) == 0
+
+    def test_max_events_truncates(self):
+        t = TraceRecorder(max_events=2)
+        for i in range(5):
+            t.record(TraceEvent(i, "note", None))
+        assert len(t) == 2
+        assert t.truncated
+
+    def test_decision_timeline_respects_retraction(self):
+        t = TraceRecorder()
+        t.record(TraceEvent(1, "decide", 1, "a"))
+        t.record(TraceEvent(2, "retract", 1))
+        t.record(TraceEvent(3, "decide", 1, "b"))
+        t.record(TraceEvent(2, "decide", 2, "c"))
+        assert t.decision_timeline() == ((2, 2, "c"), (3, 1, "b"))
+
+    def test_timeline_drops_never_redecided(self):
+        t = TraceRecorder()
+        t.record(TraceEvent(1, "decide", 1, "a"))
+        t.record(TraceEvent(2, "retract", 1))
+        assert t.decision_timeline() == ()

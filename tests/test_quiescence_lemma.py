@@ -1,0 +1,105 @@
+"""Network-level property tests of the quiescence lemma.
+
+The soundness lemma behind :mod:`repro.core.termination` (DESIGN.md §2):
+
+    In a dynamic network that is connected every round, where every node
+    broadcasts its idempotent-aggregate state every round, if **no**
+    node's state changes during a round (after every node has merged its
+    own contribution), then all nodes already hold the same state.
+
+Proof shape: disagreement implies a cut with differing states; per-round
+connectivity puts an edge across it; the lexicographically "larger" side
+changes the other.  These tests drive the *actual* simulator over random
+1-interval schedules and check the lemma and its consequences round by
+round — the strongest executable statement of why the core algorithms'
+final decisions are correct.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import RngRegistry, Simulator
+from repro.core import ExactCount, SublinearMax
+from repro.dynamics import FreshSpanningAdversary, OverlapHandoffAdversary
+
+
+def _states(nodes):
+    return [node.state for node in nodes]
+
+
+def _all_equal(states, eq):
+    first = states[0]
+    return all(eq(first, s) for s in states[1:])
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24),
+       seed=st.integers(min_value=0, max_value=10**6),
+       node_seed=st.integers(min_value=0, max_value=10**6))
+def test_global_quiet_round_implies_agreement_exact_count(n, seed, node_seed):
+    sched = FreshSpanningAdversary(n, seed=seed)
+    nodes = [ExactCount(i) for i in range(n)]
+    sim = Simulator(sched, nodes, rng=RngRegistry(node_seed))
+    agg = nodes[0].aggregate
+    for _ in range(3 * n + 8):
+        sim.step()
+        if all(not node.state_changed for node in nodes):
+            assert _all_equal(_states(nodes), agg.equals), \
+                "quiet round without global agreement: lemma violated"
+    # and the aggregate must in fact have converged by now
+    assert _all_equal(_states(nodes), agg.equals)
+    assert all(len(node.state) == n for node in nodes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24),
+       T=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_global_quiet_round_implies_agreement_max(n, T, seed):
+    sched = OverlapHandoffAdversary(n, T, seed=seed)
+    values = [(i * 31 + seed) % 97 for i in range(n)]
+    nodes = [SublinearMax(i, values[i]) for i in range(n)]
+    sim = Simulator(sched, nodes, rng=RngRegistry(seed + 1))
+    agg = nodes[0].aggregate
+    for _ in range(3 * n + 8):
+        sim.step()
+        if all(not node.state_changed for node in nodes):
+            assert _all_equal(_states(nodes), agg.equals)
+    assert all(node.state == max(values) for node in nodes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(min_value=2, max_value=20),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_convergence_within_flood_closure(n, seed):
+    """Every node holds the exact global aggregate by round d (flood
+    closure) — the convergence half of the stabilization argument."""
+    from repro.dynamics import dynamic_diameter
+
+    sched = FreshSpanningAdversary(n, seed=seed)
+    d = dynamic_diameter(sched)
+    nodes = [ExactCount(i) for i in range(n)]
+    sim = Simulator(sched, nodes, rng=RngRegistry(seed))
+    for _ in range(max(d, 1)):
+        sim.step()
+    assert all(node.state is not None and len(node.state) == n
+               for node in nodes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(min_value=2, max_value=20),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_final_decisions_all_correct_and_unretracted(n, seed):
+    """End-to-end stabilizing contract: run well past stabilization, then
+    confirm every node decided the exact count and nothing retracts in a
+    long tail of extra rounds."""
+    sched = FreshSpanningAdversary(n, seed=seed)
+    nodes = [ExactCount(i) for i in range(n)]
+    sim = Simulator(sched, nodes, rng=RngRegistry(seed))
+    for _ in range(6 * n + 64):
+        sim.step()
+    assert all(node.decided and node.output == n for node in nodes)
+    decision_snapshot = {node.node_id: node.output for node in nodes}
+    for _ in range(32):  # tail: decisions must not move
+        sim.step()
+    assert {node.node_id: node.output for node in nodes} == decision_snapshot

@@ -1,0 +1,51 @@
+"""Large-scale validation (marked slow): the headline behaviour at N ≥ 1024.
+
+The paper's claim is about large N; these runs confirm the O(d)
+behaviour survives three orders of magnitude above the unit-test sizes.
+"""
+
+import pytest
+
+from repro import RngRegistry, Simulator
+from repro.analysis import quiescence_rounds_bound
+from repro.core import ApproxCount, ExactCount, SublinearMax
+from repro.dynamics import (
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    dynamic_diameter,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestThousandNodes:
+    def test_exact_count_1024(self):
+        n = 1024
+        sched = OverlapHandoffAdversary(n, 2, noise_edges=n // 8, seed=1)
+        d = dynamic_diameter(sched)
+        nodes = [ExactCount(i) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(1)).run(
+            max_rounds=4000, until="quiescent", quiescence_window=64)
+        assert result.unanimous_output() == n
+        assert result.metrics.last_decision_round <= quiescence_rounds_bound(d)
+        assert result.metrics.last_decision_round < 40  # vs Theta(N)=1024
+
+    def test_max_2048(self):
+        n = 2048
+        sched = FreshSpanningAdversary(n, seed=2)
+        nodes = [SublinearMax(i, (i * 7919) % 104729) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(2)).run(
+            max_rounds=4000, until="quiescent", quiescence_window=64)
+        assert result.unanimous_output() == max(
+            (i * 7919) % 104729 for i in range(n))
+        assert result.metrics.last_decision_round < 48
+
+    def test_approx_count_4096_small_messages(self):
+        n = 4096
+        sched = FreshSpanningAdversary(n, seed=3)
+        nodes = [ApproxCount(i, eps=0.25, delta=0.05) for i in range(n)]
+        result = Simulator(sched, nodes, rng=RngRegistry(3)).run(
+            max_rounds=4000, until="quiescent", quiescence_window=64)
+        est = result.unanimous_output()
+        assert abs(est / n - 1) < 0.25
+        assert result.metrics.last_decision_round < 48

@@ -1,0 +1,138 @@
+"""Unit tests for schedule base classes and canonicalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.dynamics.schedule import (
+    ExplicitSchedule,
+    FunctionSchedule,
+    RecordingSchedule,
+    canonical_edges,
+)
+from repro.dynamics import StaticAdversary, line_graph
+
+
+class TestCanonicalEdges:
+    def test_orders_endpoints_and_rows(self):
+        out = canonical_edges([(2, 1), (0, 3)], 4)
+        assert out.tolist() == [[0, 3], [1, 2]]
+
+    def test_merges_duplicates_and_reversed(self):
+        out = canonical_edges([(1, 2), (2, 1), (1, 2)], 3)
+        assert out.tolist() == [[1, 2]]
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ScheduleError, match="self-loops"):
+            canonical_edges([(1, 1)], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ScheduleError, match="endpoints"):
+            canonical_edges([(0, 3)], 3)
+        with pytest.raises(ScheduleError):
+            canonical_edges([(-1, 0)], 3)
+
+    def test_empty_ok(self):
+        out = canonical_edges([], 3)
+        assert out.shape == (0, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ScheduleError, match="shape"):
+            canonical_edges(np.zeros((2, 3)), 5)
+
+    def test_idempotent(self):
+        first = canonical_edges([(3, 1), (0, 2), (2, 0)], 4)
+        second = canonical_edges(first, 4)
+        assert (first == second).all()
+
+
+class TestExplicitSchedule:
+    def test_round_lookup(self):
+        s = ExplicitSchedule(3, [[(0, 1)], [(1, 2)]])
+        assert s.edges(1).tolist() == [[0, 1]]
+        assert s.edges(2).tolist() == [[1, 2]]
+        assert s.horizon == 2
+
+    def test_beyond_horizon_raises_without_cycle(self):
+        s = ExplicitSchedule(3, [[(0, 1)]])
+        with pytest.raises(ScheduleError, match="beyond explicit horizon"):
+            s.edges(2)
+
+    def test_cycle_wraps(self):
+        s = ExplicitSchedule(3, [[(0, 1)], [(1, 2)]], cycle=True)
+        assert s.edges(3).tolist() == [[0, 1]]
+        assert s.edges(4).tolist() == [[1, 2]]
+
+    def test_empty_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitSchedule(3, [])
+
+    def test_round_index_must_be_positive(self):
+        s = ExplicitSchedule(3, [[(0, 1)]])
+        with pytest.raises(ConfigurationError):
+            s.edges(0)
+
+
+class TestNeighbors:
+    def test_neighbors_lists(self):
+        s = ExplicitSchedule(4, [[(0, 1), (1, 2)]])
+        neigh = s.neighbors(1)
+        assert sorted(neigh[1].tolist()) == [0, 2]
+        assert neigh[3].tolist() == []
+
+    def test_neighbors_cached_identity(self):
+        s = ExplicitSchedule(4, [[(0, 1)]], cycle=True)
+        assert s.neighbors(1) is s.neighbors(1)
+
+    def test_degrees(self):
+        s = ExplicitSchedule(4, [[(0, 1), (1, 2), (1, 3)]])
+        assert s.degrees(1).tolist() == [1, 3, 1, 1]
+
+    def test_as_networkx(self):
+        s = StaticAdversary(5, line_graph(5))
+        g = s.as_networkx(1)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 4
+
+
+class TestFunctionSchedule:
+    def test_function_evaluated_per_round(self):
+        s = FunctionSchedule(3, lambda r: [(0, 1)] if r % 2 else [(1, 2)])
+        assert s.edges(1).tolist() == [[0, 1]]
+        assert s.edges(2).tolist() == [[1, 2]]
+
+    def test_cache_returns_same_array(self):
+        calls = []
+
+        def fn(r):
+            calls.append(r)
+            return [(0, 1)]
+
+        s = FunctionSchedule(2, fn)
+        s.edges(1)
+        s.edges(1)
+        assert calls == [1]
+
+
+class TestRecordingSchedule:
+    def test_records_and_freezes(self):
+        inner = FunctionSchedule(3, lambda r: [(0, 1), (1, 2)])
+        rec = RecordingSchedule(inner)
+        rec.edges(1)
+        rec.edges(2)
+        frozen = rec.to_explicit()
+        assert frozen.horizon == 2
+        assert frozen.edges(1).tolist() == [[0, 1], [1, 2]]
+
+    def test_gaps_detected(self):
+        inner = FunctionSchedule(3, lambda r: [(0, 1), (1, 2)])
+        rec = RecordingSchedule(inner)
+        rec.edges(1)
+        rec.edges(3)
+        with pytest.raises(ScheduleError, match="gaps"):
+            rec.to_explicit()
+
+    def test_nothing_recorded(self):
+        rec = RecordingSchedule(FunctionSchedule(3, lambda r: [(0, 1)]))
+        with pytest.raises(ScheduleError, match="nothing recorded"):
+            rec.to_explicit()

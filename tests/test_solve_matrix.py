@@ -1,0 +1,71 @@
+"""Cross-product smoke matrix: every facade problem on every adversary.
+
+The broadest integration net in the suite: any regression in any layer
+(engine, schedule, aggregate, controller, facade) that breaks
+correctness on any adversary fails a specific, named cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import solve
+from repro.dynamics import (
+    AlternatingMatchingsAdversary,
+    EdgeChurnAdversary,
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    RepairedMobilityAdversary,
+    StaticAdversary,
+    dilate,
+    random_tree_graph,
+    ring_of_cliques,
+)
+
+N = 20
+
+
+def adversaries():
+    rng = np.random.default_rng(11)
+    return {
+        "static_roc": StaticAdversary(N, ring_of_cliques(N, 4)),
+        "fresh": FreshSpanningAdversary(N, seed=1),
+        "handoff_T3": OverlapHandoffAdversary(N, 3, seed=1),
+        "alternating": AlternatingMatchingsAdversary(N),
+        "churn": EdgeChurnAdversary(N, random_tree_graph(N, rng), seed=1),
+        "mobility": RepairedMobilityAdversary(N, T=2, seed=1),
+        "dilated_fresh": dilate(FreshSpanningAdversary(N, seed=2), 3),
+    }
+
+
+VALUES = [(i * 13) % 47 for i in range(N)]
+
+
+def expected(problem):
+    if problem == "count":
+        return N
+    if problem == "max":
+        return max(VALUES)
+    if problem == "consensus":
+        return "p0"
+    if problem == "top_k":
+        return tuple(sorted(((VALUES[i], i) for i in range(N)),
+                            reverse=True)[:2])
+    if problem == "leader":
+        return 0
+    raise AssertionError(problem)
+
+
+@pytest.mark.parametrize("adv_name", sorted(adversaries()))
+@pytest.mark.parametrize("problem",
+                         ["count", "max", "consensus", "top_k", "leader"])
+def test_problem_on_adversary(problem, adv_name):
+    schedule = adversaries()[adv_name]
+    kwargs = {}
+    if problem in ("max", "top_k"):
+        kwargs["inputs"] = VALUES
+    elif problem == "consensus":
+        kwargs["inputs"] = [f"p{i}" for i in range(N)]
+    if problem == "top_k":
+        kwargs["k"] = 2
+    result = solve(problem, schedule, seed=3, **kwargs)
+    assert result.output == expected(problem), (problem, adv_name)
