@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-quick experiments report examples clean
+.PHONY: install test test-fast bench bench-quick experiments sweep-parallel report examples clean
 
 install:
 	pip install -e .
@@ -21,6 +21,13 @@ bench-quick:
 
 experiments:     ## same data via the CLI
 	$(PY) -m repro.harness.cli --all --out results/
+
+# Grid experiments on $(WORKERS) workers with a warm content-addressed
+# cache; rerun after an interrupt to resume only the missing cells.
+WORKERS ?= 4
+sweep-parallel:
+	$(PY) -m repro.harness.cli t1 f3 f6 x1 --workers $(WORKERS) \
+	    --cache-dir .repro-cache --resume --out results/
 
 report:          ## rebuild EXPERIMENTS.md from results/
 	$(PY) -m repro.harness.report results EXPERIMENTS.md

@@ -1,0 +1,49 @@
+"""Bench: executor scaling — the same sweep serial vs workers in {1, 2, 4}.
+
+Times a fixed 12-cell Count sweep through :class:`repro.exec.
+ParallelExecutor` at each worker count (no cache, so every cell
+executes), asserts the parallel rows are identical to the serial
+reference, and persists the wall-clock ladder to
+``results/exec_scaling.json``.  ``workers=1`` uses the in-process serial
+loop; higher counts fan out over a process pool, so the delta is pure
+pool overhead vs parallel speedup.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import ParallelExecutor, TrialSpec, canonical_json
+
+_TIMINGS = {}
+
+
+def _cells(n=48, seeds=range(12)):
+    spec = TrialSpec(
+        schedule="fresh_spanning", schedule_params={"n": n},
+        nodes="exact_count", node_params={"n": n},
+        max_rounds=4000, until="quiescent", quiescence_window=32,
+        oracle="count_exact")
+    return [(spec, s) for s in seeds]
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return ParallelExecutor(workers=1).run(_cells()).rows
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_exec_scaling(benchmark, workers, serial_rows, results_dir):
+    report = benchmark.pedantic(
+        ParallelExecutor(workers=workers).run, args=(_cells(),),
+        rounds=1, iterations=1)
+    assert report.executed == len(_cells())
+    assert canonical_json(report.rows) == canonical_json(serial_rows)
+    _TIMINGS[workers] = report.elapsed
+    path = os.path.join(results_dir, "exec_scaling.json")
+    with open(path, "w") as fh:
+        json.dump({"cells": len(_cells()),
+                   "elapsed_by_workers": _TIMINGS}, fh, indent=2)
+    print(f"\n[exec-scaling] workers={workers}: "
+          f"{report.elapsed:.2f}s for {report.total} cells -> {path}")

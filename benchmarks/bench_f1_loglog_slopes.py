@@ -9,9 +9,10 @@ algorithms do not (exponent near 0).
 from repro.harness.experiments import run_f1
 
 
-def test_f1_regenerate(benchmark, quick, persist):
-    result = benchmark.pedantic(run_f1, kwargs={"quick": quick},
-                                rounds=1, iterations=1)
+def test_f1_regenerate(benchmark, quick, persist, exec_opts):
+    result = benchmark.pedantic(
+        run_f1, kwargs={"quick": quick, "exec_opts": exec_opts},
+        rounds=1, iterations=1)
     persist(result)
     slopes = {r["algorithm"]: r["exponent_b"] for r in result.rows}
     assert slopes["klo_count"] > 1.5, "KLO must scale ~quadratically"

@@ -7,9 +7,10 @@ model crosses below both baselines at small N.
 from repro.harness.experiments import run_f5
 
 
-def test_f5_regenerate(benchmark, quick, persist):
-    result = benchmark.pedantic(run_f5, kwargs={"quick": quick},
-                                rounds=1, iterations=1)
+def test_f5_regenerate(benchmark, quick, persist, exec_opts):
+    result = benchmark.pedantic(
+        run_f5, kwargs={"quick": quick, "exec_opts": exec_opts},
+        rounds=1, iterations=1)
     persist(result)
     by_baseline = {r["baseline"]: r for r in result.rows}
     klo_x = by_baseline["klo_count"]["crossover_N_predicted"]

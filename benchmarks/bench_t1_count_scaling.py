@@ -7,8 +7,9 @@ persists the table/figure artefacts to `results/t1/`.
 from repro.harness.experiments import run_t1
 
 
-def test_t1_regenerate(benchmark, quick, persist):
-    result = benchmark.pedantic(run_t1, kwargs={"quick": quick},
-                                rounds=1, iterations=1)
+def test_t1_regenerate(benchmark, quick, persist, exec_opts):
+    result = benchmark.pedantic(
+        run_t1, kwargs={"quick": quick, "exec_opts": exec_opts},
+        rounds=1, iterations=1)
     persist(result)
     assert result.rows, "experiment produced no rows"

@@ -7,9 +7,10 @@ O(d) < halting-whp O(N) < halting-deterministic Theta(N^2).
 from repro.harness.experiments import run_x1
 
 
-def test_x1_regenerate(benchmark, quick, persist):
-    result = benchmark.pedantic(run_x1, kwargs={"quick": quick},
-                                rounds=1, iterations=1)
+def test_x1_regenerate(benchmark, quick, persist, exec_opts):
+    result = benchmark.pedantic(
+        run_x1, kwargs={"quick": quick, "exec_opts": exec_opts},
+        rounds=1, iterations=1)
     persist(result)
     n_max = max(r["n"] for r in result.rows)
     at_max = {r["algorithm"]: r["rounds"] for r in result.rows

@@ -5,6 +5,12 @@ once under pytest-benchmark timing (``pedantic(rounds=1)``) and persists
 the rendered report + raw rows under ``results/`` so the artefacts exist
 even when pytest captures stdout.  Set ``REPRO_BENCH_QUICK=1`` to run the
 shrunken experiment sizes.
+
+The grid-shaped benches (t1, f1, f3, f5, f6, x1) also honour
+``REPRO_BENCH_WORKERS=N`` (fan the measurement cells across N worker
+processes) and ``REPRO_BENCH_CACHE_DIR=DIR`` (content-addressed result
+cache, so a re-bench executes only missing cells).  Rows are
+byte-identical to serial either way — only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import os
 
 import pytest
 
+from repro.exec.executor import ExecOptions
 from repro.harness.experiments import ExperimentResult
 from repro.harness.io import save_experiment
 
@@ -33,6 +40,18 @@ def results_dir() -> str:
 @pytest.fixture
 def quick() -> bool:
     return QUICK
+
+
+@pytest.fixture(scope="session")
+def exec_opts():
+    """ExecOptions from the environment, or None for plain serial runs."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+    if workers <= 1 and cache_dir is None:
+        return None
+    journal_dir = os.path.join(cache_dir, "journals") if cache_dir else None
+    return ExecOptions(workers=workers, cache_dir=cache_dir,
+                       journal_dir=journal_dir)
 
 
 @pytest.fixture

@@ -12,7 +12,10 @@ The package is organised as (see DESIGN.md for the full inventory):
   Consensus algorithms for constant T;
 * :mod:`repro.analysis` — complexity predictors, fits, tables, plots;
 * :mod:`repro.harness` — experiment runner regenerating every table and
-  figure of the (reconstructed) evaluation.
+  figure of the (reconstructed) evaluation;
+* :mod:`repro.exec` — parallel experiment executor: declarative
+  :class:`TrialSpec` trials, a content-addressed result cache, and
+  crash-safe resumable sweeps across worker processes.
 
 Quickstart::
 
@@ -47,6 +50,7 @@ from .simnet import (
     TraceRecorder,
 )
 from .api import solve, SolveResult
+from .exec import ParallelExecutor, ResultCache, TrialSpec
 
 __version__ = "1.0.0"
 
@@ -67,5 +71,8 @@ __all__ = [
     "TraceRecorder",
     "solve",
     "SolveResult",
+    "TrialSpec",
+    "ParallelExecutor",
+    "ResultCache",
     "__version__",
 ]

@@ -20,6 +20,22 @@ with the answer and the complexity accounting.  Three knowledge modes:
   the dynamic diameter) for a truly halting run;
 * ``mode="approx"`` (Count/Sum/Mean only) — sketch-based, pass
   ``eps``/``delta``.
+
+For parameter studies rather than single runs, the facade also re-exports
+the :mod:`repro.exec` entry points — :class:`TrialSpec` (declarative,
+picklable trial descriptions), :class:`ParallelExecutor` (process-pool
+execution with crash-safe resume), and :class:`ResultCache`
+(content-addressed rows, so reruns only execute missing cells)::
+
+    from repro.api import TrialSpec, ParallelExecutor
+
+    spec = TrialSpec(schedule="lowdiam_handoff",
+                     schedule_params={"n": 64, "T": 2},
+                     nodes="exact_count", node_params={"n": 64},
+                     max_rounds=4000, until="quiescent",
+                     quiescence_window=64, oracle="count_exact")
+    report = ParallelExecutor(workers=4, cache=".repro-cache").run(
+        [(spec, seed) for seed in (1, 2, 3)])
 """
 
 from __future__ import annotations
@@ -29,6 +45,7 @@ from typing import Any, Optional, Sequence
 
 from ._validate import require_choice, require_positive_int
 from .errors import ConfigurationError
+from .exec import ParallelExecutor, ResultCache, TrialSpec
 from .simnet.engine import Simulator
 from .simnet.metrics import RunMetrics
 from .simnet.rng import RngRegistry
@@ -38,7 +55,8 @@ from .core.exact_count import ExactCount, ExactCountKnownBound
 from .core.generalized import ApproxMean, ApproxSum, LeaderElect, TopK
 from .core.max_compute import MaxKnownBound, SublinearMax
 
-__all__ = ["solve", "SolveResult", "PROBLEMS"]
+__all__ = ["solve", "SolveResult", "PROBLEMS",
+           "TrialSpec", "ParallelExecutor", "ResultCache"]
 
 PROBLEMS = ("count", "max", "consensus", "sum", "mean", "top_k", "leader")
 

@@ -1,0 +1,16 @@
+"""Module entry point: ``python -m repro.exec``."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. ``... builders | head``
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

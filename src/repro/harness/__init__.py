@@ -11,6 +11,13 @@
   rendered text) under a results directory;
 * :mod:`~repro.harness.cli` — ``repro-experiments`` entry point that runs
   any subset of experiments and writes everything to disk.
+
+The grid-shaped experiments (T1, F3, F6, X1) describe their trials as
+declarative :class:`repro.exec.TrialSpec` cells and route them through
+the :mod:`repro.exec` executor, which adds worker processes, a
+content-addressed result cache, and crash-safe resume on top of the
+same measurement semantics (``--workers/--cache-dir/--resume`` on the
+CLI).
 """
 
 from .runner import TrialConfig, TrialResult, run_trial, run_replicates
@@ -20,7 +27,7 @@ from .experiments import (
     run_experiment,
 )
 from .io import save_experiment, load_rows
-from .sweeps import grid_points, sweep, aggregate_rows
+from .sweeps import grid_points, sweep, sweep_with_report, aggregate_rows
 from .claims import Claim, CLAIMS, check_claims, render_claims
 
 __all__ = [
@@ -35,6 +42,7 @@ __all__ = [
     "load_rows",
     "grid_points",
     "sweep",
+    "sweep_with_report",
     "aggregate_rows",
     "Claim",
     "CLAIMS",

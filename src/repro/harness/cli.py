@@ -4,7 +4,14 @@ Examples::
 
     repro-experiments --quick t1 f1          # fast smoke of two experiments
     repro-experiments --all --out results/   # the full reconstructed eval
+    repro-experiments f3 --workers 4 --cache-dir .repro-cache --resume
     repro-experiments --list
+
+``--workers/--cache-dir/--resume`` configure the :mod:`repro.exec`
+executor for the grid-shaped experiments (T1, F1, F3, F5, F6, X1): the
+measurement cells fan out across worker processes, completed rows are
+content-addressed on disk, and an interrupted run re-executes only the
+missing cells.  Parallel rows are byte-identical to serial rows.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..exec.executor import ExecOptions
 from .experiments import EXPERIMENTS, run_experiment, run_f1, run_f5, run_t1
 from .io import save_experiment
 
@@ -39,7 +47,36 @@ def _parser() -> argparse.ArgumentParser:
                         help="certify the reproduction claims against "
                              "saved results (use with --out DIR or the "
                              "default results/)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment grids "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache; reruns "
+                             "execute only missing cells")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume interrupted runs from the journal "
+                             "kept under CACHE_DIR")
     return parser
+
+
+def _exec_options(args: argparse.Namespace) -> Optional[ExecOptions]:
+    if args.workers <= 1 and not args.cache_dir and not args.resume:
+        return None
+    if args.resume and not args.cache_dir:
+        raise SystemExit("--resume needs --cache-dir (the journal lives "
+                         "under the cache directory)")
+    journal_dir = None
+    if args.cache_dir:
+        import os
+
+        journal_dir = os.path.join(args.cache_dir, "journals")
+    return ExecOptions(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        journal_dir=journal_dir,
+        resume=args.resume,
+        progress=args.workers > 1,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -65,22 +102,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}",
               file=sys.stderr)
         return 2
+    exec_opts = _exec_options(args)
 
     # T1 feeds F1 and F5; share its rows when several are requested.
     t1_cache = None
     if "t1" in ids or ("f1" in ids and "f5" in ids):
-        t1_cache = run_t1(quick=args.quick)
+        t1_cache = run_t1(quick=args.quick, exec_opts=exec_opts)
 
     for exp_id in ids:
         started = time.time()
         if exp_id == "t1" and t1_cache is not None:
             result = t1_cache
         elif exp_id == "f1" and t1_cache is not None:
-            result = run_f1(quick=args.quick, t1=t1_cache)
+            result = run_f1(quick=args.quick, t1=t1_cache,
+                            exec_opts=exec_opts)
         elif exp_id == "f5" and t1_cache is not None:
-            result = run_f5(quick=args.quick, t1=t1_cache)
+            result = run_f5(quick=args.quick, t1=t1_cache,
+                            exec_opts=exec_opts)
         else:
-            result = run_experiment(exp_id, quick=args.quick)
+            result = run_experiment(exp_id, quick=args.quick,
+                                    exec_opts=exec_opts)
         elapsed = time.time() - started
         print(result.render())
         print(f"[{exp_id} finished in {elapsed:.1f}s]\n")

@@ -63,6 +63,8 @@ from ..dynamics import (
     random_tree_graph,
     ring_of_cliques,
 )
+from ..exec.executor import ExecOptions
+from ..exec.specs import TrialSpec
 from ..simnet.rng import RngRegistry
 from .runner import TrialConfig, run_trial
 
@@ -140,50 +142,77 @@ def _measured_rounds(result) -> int:
     return int(result.rounds)
 
 
-# Count-algorithm registry used by T1/F1/F6.  Each entry builds a
-# TrialConfig for a given (n, T).
-def _count_algorithms(T: int) -> Dict[str, Callable[[int], TrialConfig]]:
-    def klo(n: int) -> TrialConfig:
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                KCommitteeCount(i) for i in range(n)],
+def _row_rounds(row: Dict[str, Any]) -> int:
+    """Decision-completion time from a flattened executor row."""
+    if row.get("last_decision_round") is not None:
+        return int(row["last_decision_round"])
+    return int(row["rounds"])
+
+
+def _execute_cells(cells: List[Tuple[TrialSpec, int]],
+                   exec_opts: Optional[ExecOptions],
+                   label: str) -> List[Dict[str, Any]]:
+    """Run spec cells through the executor (serial when no options).
+
+    ``exec_opts`` carries workers / cache / journal / resume settings
+    from the CLI; ``None`` preserves the historical serial behaviour
+    (``workers=1``, no cache) with byte-identical rows.
+    """
+    opts = exec_opts or ExecOptions()
+    return opts.make_executor(label).run(cells).rows
+
+
+def _group_rows(rows: List[Dict[str, Any]],
+                *keys: str) -> Dict[tuple, List[Dict[str, Any]]]:
+    grouped: Dict[tuple, List[Dict[str, Any]]] = {}
+    for row in rows:
+        grouped.setdefault(tuple(row[k] for k in keys), []).append(row)
+    return grouped
+
+
+# Count-algorithm registry used by T1/F1/F6/X1.  Each entry builds a
+# declarative TrialSpec for a given (n, T) — picklable, so the executor
+# can fan the grid across worker processes and content-address the rows.
+def _count_specs(T: int) -> Dict[str, Callable[[int], TrialSpec]]:
+    def klo(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="klo_count", node_params={"n": n},
             max_rounds=2 * klo_rounds(n) + 200,
             until="halted",
-            oracle=_count_oracle,
+            oracle="count_exact",
         )
 
-    def token(n: int) -> TrialConfig:
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                RandomTokenDissemination(i, target_count=n)
-                for i in range(n)],
+    def token(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="token_dissemination",
+            node_params={"n": n, "known_count": True},
             max_rounds=40 * n + 400,
             until="decided",
-            oracle=_count_oracle,
+            oracle="count_exact",
         )
 
-    def exact(n: int) -> TrialConfig:
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                ExactCount(i) for i in range(n)],
+    def exact(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="exact_count", node_params={"n": n},
             max_rounds=20 * n + 2000,
             until="quiescent",
             quiescence_window=64,
-            oracle=_count_oracle,
+            oracle="count_exact",
         )
 
-    def approx(n: int) -> TrialConfig:
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                ApproxCount(i, eps=0.25, delta=0.05) for i in range(n)],
+    def approx(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="approx_count",
+            node_params={"n": n, "eps": 0.25, "delta": 0.05},
             max_rounds=20 * n + 2000,
             until="quiescent",
             quiescence_window=64,
-            oracle=_approx_oracle(0.25),
+            oracle="count_approx",
+            oracle_params={"eps": 0.25},
         )
 
     return {
@@ -198,13 +227,19 @@ def _count_algorithms(T: int) -> Dict[str, Callable[[int], TrialConfig]]:
 # T1 — headline Count scaling table
 # --------------------------------------------------------------------------
 
-def run_t1(quick: bool = False) -> ExperimentResult:
-    """T1: rounds for Count vs ``N`` at constant ``T = 2``, low-``d`` dynamics."""
+def run_t1(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
+    """T1: rounds for Count vs ``N`` at constant ``T = 2``, low-``d`` dynamics.
+
+    The measurement grid (algorithm × N × seed) routes through the
+    :mod:`repro.exec` executor — *exec_opts* selects worker processes,
+    the result cache, and resume; ``None`` runs serially.
+    """
     T = 2
     ns = [8, 16, 32] if quick else [16, 32, 64, 128, 256]
     klo_cap = 16 if quick else 64
     seeds = [1] if quick else [1, 2, 3]
-    algos = _count_algorithms(T)
+    algos = _count_specs(T)
 
     result = ExperimentResult(
         "T1", "Count: rounds vs N at constant T=2 (low-d dynamics)")
@@ -215,12 +250,22 @@ def run_t1(quick: bool = False) -> ExperimentResult:
         "algorithm is deterministic; predictions equal simulation, "
         "verified by tests).")
 
+    cells = [
+        (make(n).with_tags(algorithm=name, n=n), seed)
+        for n in ns
+        for name, make in algos.items()
+        if not (name == "klo_count" and n > klo_cap)
+        for seed in seeds
+    ]
+    grouped = _group_rows(_execute_cells(cells, exec_opts, "t1"),
+                          "algorithm", "n")
+
     for n in ns:
         d_values = []
         for seed in seeds:
             d_values.append(dynamic_diameter(_lowdiam_schedule(n, T, seed)))
         d_mean = float(np.mean(d_values))
-        for name, make in algos.items():
+        for name in algos:
             if name == "klo_count" and n > klo_cap:
                 result.rows.append({
                     "algorithm": name, "n": n, "T": T, "d": d_mean,
@@ -228,12 +273,9 @@ def run_t1(quick: bool = False) -> ExperimentResult:
                     "source": "predicted",
                 })
                 continue
-            config = make(n)
-            rounds, correct = [], []
-            for seed in seeds:
-                tr = run_trial(config, seed)
-                rounds.append(_measured_rounds(tr))
-                correct.append(tr.correct)
+            measured = grouped[(name, n)]
+            rounds = [_row_rounds(r) for r in measured]
+            correct = [r["correct"] for r in measured]
             result.rows.append({
                 "algorithm": name, "n": n, "T": T, "d": d_mean,
                 "rounds": summarize(rounds).mean,
@@ -253,9 +295,10 @@ def run_t1(quick: bool = False) -> ExperimentResult:
 # --------------------------------------------------------------------------
 
 def run_f1(quick: bool = False,
-           t1: Optional[ExperimentResult] = None) -> ExperimentResult:
+           t1: Optional[ExperimentResult] = None, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
     """F1: power-law exponents of the T1 curves (slope in log-log space)."""
-    t1 = t1 or run_t1(quick=quick)
+    t1 = t1 or run_t1(quick=quick, exec_opts=exec_opts)
     result = ExperimentResult(
         "F1", "Count: log-log scaling exponents (rounds ~ a * N^b)")
     by_algo: Dict[str, Tuple[List[float], List[float]]] = {}
@@ -289,8 +332,14 @@ def run_f1(quick: bool = False,
 # F2 — rounds vs T
 # --------------------------------------------------------------------------
 
-def run_f2(quick: bool = False) -> ExperimentResult:
-    """F2: rounds vs ``T`` at fixed ``N``."""
+def run_f2(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
+    """F2: rounds vs ``T`` at fixed ``N``.
+
+    Runs serially regardless of *exec_opts*: the throttled-token series
+    attaches a ``stop_when`` closure, which cannot cross process
+    boundaries (accepted for CLI uniformity).
+    """
     n = 24 if quick else 64
     Ts = [1, 2, 4] if quick else [1, 2, 4, 8, 16]
     seeds = [1] if quick else [1, 2, 3, 4, 5]
@@ -359,8 +408,14 @@ def run_f2(quick: bool = False) -> ExperimentResult:
 # F3 — rounds vs dynamic diameter d
 # --------------------------------------------------------------------------
 
-def run_f3(quick: bool = False) -> ExperimentResult:
-    """F3: rounds vs ``d`` at fixed ``N`` (ring-of-cliques sweep)."""
+def run_f3(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
+    """F3: rounds vs ``d`` at fixed ``N`` (ring-of-cliques sweep).
+
+    The largest grid of the evaluation (11 clique counts × 2 algorithms
+    × 3 seeds + predictions = 45 full-size rows); *exec_opts* fans the
+    measured cells across worker processes — see ``docs/EXECUTOR.md``.
+    """
     n = 48 if quick else 192
     cliques = [2, 4, 8] if quick else [2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 96]
     seeds = [1] if quick else [1, 2, 3]
@@ -371,27 +426,40 @@ def run_f3(quick: bool = False) -> ExperimentResult:
         "flood_max_knownN": ([], []),
         "bound_3d+2": ([], []),
     }
+
+    def count_spec(m: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="static_ring_of_cliques",
+            schedule_params={"n": n, "num_cliques": m},
+            nodes="exact_count", node_params={"n": n},
+            max_rounds=40 * n + 4000, until="quiescent",
+            quiescence_window=64, oracle="count_exact",
+            tags={"algorithm": "exact_count_ours", "num_cliques": m})
+
+    def max_spec(m: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="static_ring_of_cliques",
+            schedule_params={"n": n, "num_cliques": m},
+            nodes="sublinear_max_modvalue", node_params={"n": n},
+            max_rounds=40 * n + 4000, until="quiescent",
+            quiescence_window=64, oracle="max_modvalue",
+            tags={"algorithm": "sublinear_max_ours", "num_cliques": m})
+
+    cells = [
+        (spec, seed)
+        for m in cliques
+        for spec in (count_spec(m), max_spec(m))
+        for seed in seeds
+    ]
+    grouped = _group_rows(_execute_cells(cells, exec_opts, "f3"),
+                          "algorithm", "num_cliques")
+
     for m in cliques:
-        base = ring_of_cliques(n, m)
-        sched = StaticAdversary(n, base)
-        d = dynamic_diameter(sched)
-
-        config_count = TrialConfig(
-            schedule_factory=lambda seed: StaticAdversary(n, base),
-            node_factory=lambda s, seed: [ExactCount(i) for i in range(n)],
-            max_rounds=40 * n + 4000, until="quiescent",
-            quiescence_window=64, oracle=_count_oracle)
+        d = dynamic_diameter(StaticAdversary(n, ring_of_cliques(n, m)))
         count_rounds = [
-            _measured_rounds(run_trial(config_count, seed)) for seed in seeds]
-
-        config_max = TrialConfig(
-            schedule_factory=lambda seed: StaticAdversary(n, base),
-            node_factory=lambda s, seed: [
-                SublinearMax(i, _value(i)) for i in range(n)],
-            max_rounds=40 * n + 4000, until="quiescent",
-            quiescence_window=64, oracle=_max_oracle)
+            _row_rounds(r) for r in grouped[("exact_count_ours", m)]]
         max_rounds_ = [
-            _measured_rounds(run_trial(config_max, seed)) for seed in seeds]
+            _row_rounds(r) for r in grouped[("sublinear_max_ours", m)]]
 
         rows_local = [
             ("exact_count_ours", summarize([float(v) for v in count_rounds]).mean),
@@ -424,8 +492,13 @@ def run_f3(quick: bool = False) -> ExperimentResult:
 # F4 — approximate-count accuracy
 # --------------------------------------------------------------------------
 
-def run_f4(quick: bool = False) -> ExperimentResult:
-    """F4: sketch accuracy/coverage vs ε (full-sim + direct Monte Carlo)."""
+def run_f4(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
+    """F4: sketch accuracy/coverage vs ε (full-sim + direct Monte Carlo).
+
+    Runs serially regardless of *exec_opts*: trials share pre-built
+    schedule objects and the Monte Carlo pass dominates anyway.
+    """
     n = 32 if quick else 64
     T = 2
     eps_list = [0.5, 0.25] if quick else [0.5, 0.25, 0.1]
@@ -497,8 +570,13 @@ def _t2_adversaries(n: int) -> Dict[str, Callable[[int], object]]:
     }
 
 
-def run_t2(quick: bool = False) -> ExperimentResult:
-    """T2: Max / Consensus / Count across the adversary zoo."""
+def run_t2(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
+    """T2: Max / Consensus / Count across the adversary zoo.
+
+    Runs serially regardless of *exec_opts*: the adaptive adversaries
+    carry lambda keys that cannot be pickled into worker processes.
+    """
     n = 24 if quick else 96
     seeds = [1] if quick else [1, 2, 3]
     result = ExperimentResult("T2", f"Adversary robustness at N={n}")
@@ -557,9 +635,10 @@ def run_t2(quick: bool = False) -> ExperimentResult:
 # --------------------------------------------------------------------------
 
 def run_f5(quick: bool = False,
-           t1: Optional[ExperimentResult] = None) -> ExperimentResult:
+           t1: Optional[ExperimentResult] = None, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
     """F5: smallest N at which the core Count beats each baseline."""
-    t1 = t1 or run_t1(quick=quick)
+    t1 = t1 or run_t1(quick=quick, exec_opts=exec_opts)
     result = ExperimentResult(
         "F5", "Crossover: smallest N where ours beats each baseline")
     ours_rows = [r for r in t1.rows if r["algorithm"] == "exact_count_ours"]
@@ -610,7 +689,8 @@ def run_f5(quick: bool = False,
 # F6 — bit complexity
 # --------------------------------------------------------------------------
 
-def run_f6(quick: bool = False) -> ExperimentResult:
+def run_f6(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
     """F6: total transmitted bits and max message size per algorithm."""
     T = 2
     ns = [16, 32] if quick else [32, 64, 128]
@@ -618,41 +698,44 @@ def run_f6(quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         "F6", "Bit complexity: total broadcast bits and max message size")
 
-    def pipelined(n: int) -> TrialConfig:
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                PipelinedApproxCount(i, words_per_message=4, width=40,
-                                     strategy="greedy")
-                for i in range(n)],
+    def pipelined(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="pipelined_approx_count",
+            node_params={"n": n, "words_per_message": 4, "width": 40,
+                         "strategy": "greedy"},
             max_rounds=40 * n + 4000, until="quiescent",
             quiescence_window=64)
 
-    def pipelined_exact(n: int) -> TrialConfig:
-        from ..core.pipelined_exact import PipelinedExactCount
-
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                PipelinedExactCount(i, ids_per_message=4)
-                for i in range(n)],
+    def pipelined_exact(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="pipelined_exact_count",
+            node_params={"n": n, "ids_per_message": 4},
             max_rounds=80 * n + 8000, until="quiescent",
-            quiescence_window=96, oracle=_count_oracle)
+            quiescence_window=96, oracle="count_exact")
 
-    algos = dict(_count_algorithms(T))
+    algos = dict(_count_specs(T))
     algos["pipelined_approx_w4"] = pipelined
     algos["pipelined_exact_w4"] = pipelined_exact
     klo_cap = 16 if quick else 32
+    cells = [
+        (make(n).with_tags(algorithm=name, n=n), seed)
+        for n in ns
+        for name, make in algos.items()
+        if not (name == "klo_count" and n > klo_cap)
+        for seed in seeds
+    ]
+    grouped = _group_rows(_execute_cells(cells, exec_opts, "f6"),
+                          "algorithm", "n")
     for n in ns:
-        for name, make in algos.items():
+        for name in algos:
             if name == "klo_count" and n > klo_cap:
                 continue
-            bits, maxbits, rounds = [], [], []
-            for seed in seeds:
-                tr = run_trial(make(n), seed)
-                bits.append(tr.broadcast_bits)
-                maxbits.append(tr.max_message_bits)
-                rounds.append(_measured_rounds(tr))
+            measured = grouped[(name, n)]
+            bits = [r["broadcast_bits"] for r in measured]
+            maxbits = [r["max_message_bits"] for r in measured]
+            rounds = [_row_rounds(r) for r in measured]
             result.rows.append({
                 "algorithm": name, "n": n,
                 "rounds": summarize([float(v) for v in rounds]).mean,
@@ -674,8 +757,13 @@ def run_f6(quick: bool = False) -> ExperimentResult:
 # T3 — ablations
 # --------------------------------------------------------------------------
 
-def run_t3(quick: bool = False) -> ExperimentResult:
-    """T3: ablations of the reconstruction's design choices."""
+def run_t3(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
+    """T3: ablations of the reconstruction's design choices.
+
+    Runs serially regardless of *exec_opts* (mixed simulation /
+    closed-form / Monte Carlo rows).
+    """
     n = 24 if quick else 96
     T = 2
     seeds = [1] if quick else [1, 2, 3]
@@ -773,7 +861,8 @@ def run_t3(quick: bool = False) -> ExperimentResult:
 # X1 — the cost of halting (extension, DESIGN.md S8)
 # --------------------------------------------------------------------------
 
-def run_x1(quick: bool = False) -> ExperimentResult:
+def run_x1(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
     """X1: halting-guarantee ladder for zero-knowledge exact Count.
 
     Three algorithms, all knowing nothing, all outputting exact counts:
@@ -782,8 +871,6 @@ def run_x1(quick: bool = False) -> ExperimentResult:
     in termination strength costs roughly a factor of the next scale
     parameter.
     """
-    from ..core.hybrid_count import HybridCount
-
     T = 2
     ns = [8, 16, 32] if quick else [16, 32, 64, 128]
     klo_cap = 16 if quick else 64
@@ -791,26 +878,34 @@ def run_x1(quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         "X1", "The cost of halting: exact Count with zero knowledge")
 
-    def hybrid(n: int) -> TrialConfig:
-        return TrialConfig(
-            schedule_factory=lambda seed: _lowdiam_schedule(n, T, seed),
-            node_factory=lambda sched, seed: [
-                HybridCount(i) for i in range(n)],
+    def hybrid(n: int) -> TrialSpec:
+        return TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": n, "T": T},
+            nodes="hybrid_count", node_params={"n": n},
             max_rounds=10 * n + 400, until="halted",
-            oracle=_count_oracle)
+            oracle="count_exact")
 
     algos = {
-        "exact_count_stabilizing": _count_algorithms(T)["exact_count_ours"],
+        "exact_count_stabilizing": _count_specs(T)["exact_count_ours"],
         "hybrid_count_halting_whp": hybrid,
-        "klo_halting_deterministic": _count_algorithms(T)["klo_count"],
+        "klo_halting_deterministic": _count_specs(T)["klo_count"],
     }
     guarantee = {
         "exact_count_stabilizing": "stabilizing, O(d)",
         "hybrid_count_halting_whp": "halting w.h.p., O(N)",
         "klo_halting_deterministic": "halting deterministic, Theta(N^2)",
     }
+    cells = [
+        (make(n).with_tags(algorithm=name, n=n), seed)
+        for n in ns
+        for name, make in algos.items()
+        if not (name == "klo_halting_deterministic" and n > klo_cap)
+        for seed in seeds
+    ]
+    grouped = _group_rows(_execute_cells(cells, exec_opts, "x1"),
+                          "algorithm", "n")
     for n in ns:
-        for name, make in algos.items():
+        for name in algos:
             if name == "klo_halting_deterministic" and n > klo_cap:
                 result.rows.append({
                     "algorithm": name, "n": n,
@@ -818,11 +913,9 @@ def run_x1(quick: bool = False) -> ExperimentResult:
                     "rounds": klo_rounds(n), "correct": True,
                     "source": "predicted"})
                 continue
-            rounds, correct = [], []
-            for seed in seeds:
-                tr = run_trial(make(n), seed)
-                rounds.append(_measured_rounds(tr))
-                correct.append(tr.correct)
+            measured = grouped[(name, n)]
+            rounds = [_row_rounds(r) for r in measured]
+            correct = [r["correct"] for r in measured]
             result.rows.append({
                 "algorithm": name, "n": n,
                 "guarantee": guarantee[name],
@@ -848,7 +941,8 @@ def run_x1(quick: bool = False) -> ExperimentResult:
 # X2 — robustness under message loss (extension, DESIGN.md S8)
 # --------------------------------------------------------------------------
 
-def run_x2(quick: bool = False) -> ExperimentResult:
+def run_x2(quick: bool = False, *,
+           exec_opts: Optional[ExecOptions] = None) -> ExperimentResult:
     """X2: behaviour beyond the promise — random message loss.
 
     Loss silently weakens the adversary's promise (the effective graph
@@ -923,10 +1017,17 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
-    """Run the experiment with the given id (case-insensitive)."""
+def run_experiment(exp_id: str, quick: bool = False,
+                   exec_opts: Optional[ExecOptions] = None
+                   ) -> ExperimentResult:
+    """Run the experiment with the given id (case-insensitive).
+
+    *exec_opts* configures the :mod:`repro.exec` executor (workers,
+    result cache, resume) for the experiments whose grids route through
+    it; ``None`` preserves the historical serial behaviour.
+    """
     key = exp_id.lower()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key](quick=quick)
+    return EXPERIMENTS[key](quick=quick, exec_opts=exec_opts)

@@ -15,17 +15,25 @@ halting algorithms it coincides with the total rounds executed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Union)
 
 from ..simnet.engine import RunResult, Simulator
 from ..simnet.node import Algorithm
 from ..simnet.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..exec.specs import TrialSpec
 
 __all__ = ["TrialConfig", "TrialResult", "run_trial", "run_replicates"]
 
 ScheduleFactory = Callable[[int], object]         # seed -> schedule
 NodeFactory = Callable[[object, int], Sequence[Algorithm]]  # (schedule, seed) -> nodes
 Oracle = Callable[[Dict[int, Any], object], bool]  # (outputs, schedule) -> ok
+
+#: Anything :func:`run_trial` accepts: a lambda-based config or a
+#: declarative, picklable spec (see :mod:`repro.exec.specs`).
+TrialLike = Union["TrialConfig", "TrialSpec"]
 
 
 @dataclass
@@ -103,8 +111,16 @@ class _MaxBitsProbe:
         self.max_bits = 0
 
 
-def run_trial(config: TrialConfig, seed: int) -> TrialResult:
-    """Execute one trial with the given seed."""
+def run_trial(config: TrialLike, seed: int) -> TrialResult:
+    """Execute one trial with the given seed.
+
+    Accepts either a :class:`TrialConfig` or a declarative
+    :class:`repro.exec.TrialSpec` (resolved via its ``to_config``); all
+    randomness derives from ``RngRegistry(seed)``, never ambient state,
+    so equal inputs reproduce byte-identical results in any process.
+    """
+    if not isinstance(config, TrialConfig):
+        config = config.to_config()
     schedule = config.schedule_factory(seed)
     nodes = list(config.node_factory(schedule, seed))
     sim = Simulator(
@@ -149,7 +165,7 @@ def run_trial(config: TrialConfig, seed: int) -> TrialResult:
     )
 
 
-def run_replicates(config: TrialConfig,
+def run_replicates(config: TrialLike,
                    seeds: Sequence[int]) -> List[TrialResult]:
     """Run the trial once per seed, collecting all results."""
     return [run_trial(config, seed) for seed in seeds]

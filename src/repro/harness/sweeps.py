@@ -2,35 +2,52 @@
 
 The experiment functions in :mod:`repro.harness.experiments` hand-roll
 their loops for readability; this module offers the same machinery as a
-reusable utility for users running their own studies::
+reusable utility for users running their own studies.  ``build`` may
+return either a classic lambda-based
+:class:`~repro.harness.runner.TrialConfig` (serial execution only) or a
+declarative :class:`~repro.exec.TrialSpec`, which unlocks the full
+executor: worker processes, the content-addressed result cache, and
+crash-safe resume::
 
+    from repro.exec import TrialSpec
     from repro.harness.sweeps import sweep
 
     rows = sweep(
         grid={"n": [32, 64], "T": [1, 2, 4]},
-        build=lambda p: TrialConfig(
-            schedule_factory=lambda seed: OverlapHandoffAdversary(
-                p["n"], p["T"], seed=seed),
-            node_factory=lambda sched, seed: [
-                ExactCount(i) for i in range(p["n"])],
-            max_rounds=10_000, until="quiescent", quiescence_window=64),
+        build=lambda p: TrialSpec(
+            schedule="lowdiam_handoff",
+            schedule_params={"n": p["n"], "T": p["T"]},
+            nodes="exact_count", node_params={"n": p["n"]},
+            max_rounds=10_000, until="quiescent", quiescence_window=64,
+            oracle="count_exact"),
         seeds=[1, 2, 3],
-    )
+        workers=4, cache_dir=".repro-cache")
 
 Each row carries the grid point, the seed, and the standard measured
 quantities (see :meth:`repro.harness.runner.TrialResult.as_row`);
 :func:`aggregate_rows` collapses replicates into mean/std per grid point.
+Parallel rows are byte-identical to serial rows for the same seeds — all
+randomness derives from the per-trial seed via
+:class:`repro.simnet.rng.RngRegistry`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
+from ..errors import ConfigurationError
+from ..exec.executor import ExecutionReport, ParallelExecutor
+from ..exec.specs import TrialSpec
+from .._validate import require_choice
 from ..analysis.stats import summarize
 from .runner import TrialConfig, run_trial
 
-__all__ = ["grid_points", "sweep", "aggregate_rows"]
+__all__ = ["grid_points", "sweep", "sweep_with_report", "aggregate_rows"]
+
+ProgressFn = Callable[[Dict[str, Any], int], None]
+BuildFn = Callable[[Dict[str, Any]], Union[TrialConfig, TrialSpec]]
 
 
 def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
@@ -52,20 +69,113 @@ def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
             for combo in itertools.product(*(grid[k] for k in keys))]
 
 
-def sweep(grid: Mapping[str, Sequence[Any]],
-          build: Callable[[Dict[str, Any]], TrialConfig],
-          seeds: Sequence[int] = (1,),
-          progress: Callable[[Dict[str, Any], int], None] = None,
-          ) -> List[Dict[str, Any]]:
-    """Run ``build(point)`` for every grid point × seed; return flat rows."""
+def sweep_with_report(grid: Mapping[str, Sequence[Any]],
+                      build: BuildFn,
+                      seeds: Sequence[int] = (1,),
+                      progress: Optional[ProgressFn] = None,
+                      *,
+                      workers: int = 1,
+                      cache_dir: Optional[str] = None,
+                      journal: Optional[str] = None,
+                      resume: bool = False,
+                      on_error: str = "raise",
+                      ) -> Tuple[List[Dict[str, Any]], ExecutionReport]:
+    """Like :func:`sweep`, but also return the execution accounting.
+
+    The :class:`~repro.exec.ExecutionReport` carries the executed /
+    cache-hit / resumed / error counters — e.g. a fully warm rerun shows
+    ``executed == 0``.
+    """
+    require_choice(on_error, "on_error", ("raise", "record"))
+    points = grid_points(grid)
+    built = [(point, build(point)) for point in points]
+    kinds = {isinstance(work, TrialSpec) for _, work in built}
+    if kinds == {True}:
+        cells = [
+            (work.with_tags(**point), seed)
+            for point, work in built for seed in seeds
+        ]
+        executor = ParallelExecutor(
+            workers=workers, cache=cache_dir, journal=journal,
+            resume=resume, on_error=on_error)
+        if progress is not None:
+            # The historical per-cell callback fires at dispatch; with
+            # the executor the whole grid dispatches up front.
+            for point, _work in built:
+                for seed in seeds:
+                    progress(point, seed)
+        report = executor.run(cells)
+        return report.rows, report
+    if kinds != {False}:
+        raise ConfigurationError(
+            "build must return TrialSpec for every point or TrialConfig "
+            "for every point, not a mixture")
+    # Legacy lambda-based configs: serial in-process only — they cannot
+    # cross process boundaries or be content-addressed.
+    if workers > 1 or cache_dir or resume or journal:
+        raise ConfigurationError(
+            "workers>1 / cache_dir / journal / resume require build to "
+            "return repro.exec.TrialSpec (lambda-based TrialConfig "
+            "cannot be pickled or hashed); see docs/EXECUTOR.md")
+    report = ExecutionReport(total=len(built) * len(seeds))
     rows: List[Dict[str, Any]] = []
-    for point in grid_points(grid):
-        config = build(point)
+    for point, config in built:
         for seed in seeds:
             if progress is not None:
                 progress(point, seed)
-            result = run_trial(config, seed)
+            try:
+                result = run_trial(config, seed)
+            except Exception as exc:  # noqa: BLE001 - opt-in capture
+                report.executed += 1
+                if on_error == "raise":
+                    raise
+                report.errors += 1
+                rows.append({"seed": seed,
+                             "error": f"{type(exc).__name__}: {exc}",
+                             **point})
+                continue
+            report.executed += 1
             rows.append(result.as_row(**point))
+    report.rows = rows
+    return rows, report
+
+
+def sweep(grid: Mapping[str, Sequence[Any]],
+          build: BuildFn,
+          seeds: Sequence[int] = (1,),
+          progress: Optional[ProgressFn] = None,
+          *,
+          workers: int = 1,
+          cache_dir: Optional[str] = None,
+          journal: Optional[str] = None,
+          resume: bool = False,
+          on_error: str = "raise",
+          ) -> List[Dict[str, Any]]:
+    """Run ``build(point)`` for every grid point × seed; return flat rows.
+
+    Parameters
+    ----------
+    grid / build / seeds:
+        The study: cartesian grid, a builder mapping one point to a
+        :class:`TrialSpec` (preferred) or :class:`TrialConfig`, and the
+        replicate seeds.
+    progress:
+        Optional ``(point, seed) -> None`` callback, invoked once per
+        cell as it is dispatched.
+    workers:
+        Process count (spec-built sweeps only); ``1`` is the historical
+        serial path with identical output.
+    cache_dir / journal / resume:
+        Content-addressed cache directory, JSONL checkpoint path, and
+        journal replay — see :mod:`repro.exec`.
+    on_error:
+        ``"raise"`` (default) propagates the first trial failure;
+        ``"record"`` captures it as an ``error`` column in the row so a
+        single bad grid cell does not torch a long sweep.
+    """
+    rows, _report = sweep_with_report(
+        grid, build, seeds, progress, workers=workers, cache_dir=cache_dir,
+        journal=journal, resume=resume, on_error=on_error)
     return rows
 
 

@@ -26,7 +26,7 @@ Public surface:
 from .engine import Simulator, RunResult
 from .node import Algorithm, RoundContext
 from .metrics import MetricsCollector, RunMetrics
-from .rng import RngRegistry
+from .rng import RngRegistry, derive_seeds
 from .message import bit_size
 from .trace import TraceRecorder, TraceEvent
 
@@ -38,6 +38,7 @@ __all__ = [
     "MetricsCollector",
     "RunMetrics",
     "RngRegistry",
+    "derive_seeds",
     "bit_size",
     "TraceRecorder",
     "TraceEvent",
