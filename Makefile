@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-quick experiments sweep-parallel report examples clean
+.PHONY: install test test-fast bench bench-quick bench-smoke experiments sweep-parallel report examples clean
 
 install:
 	pip install -e .
@@ -18,6 +18,9 @@ bench:           ## full-size: regenerates every table/figure into results/
 
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:     ## CI gate: fast-path speedup vs committed baseline
+	$(PY) benchmarks/bench_micro_substrate.py --smoke
 
 experiments:     ## same data via the CLI
 	$(PY) -m repro.harness.cli --all --out results/

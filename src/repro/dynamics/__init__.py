@@ -28,6 +28,9 @@ from .schedule import (
     ExplicitSchedule,
     FunctionSchedule,
     RecordingSchedule,
+    CSRAdjacency,
+    build_csr,
+    STABLE_FOREVER,
 )
 from .topologies import (
     line_graph,
@@ -76,6 +79,9 @@ __all__ = [
     "ExplicitSchedule",
     "FunctionSchedule",
     "RecordingSchedule",
+    "CSRAdjacency",
+    "build_csr",
+    "STABLE_FOREVER",
     "line_graph",
     "ring_graph",
     "star_graph",

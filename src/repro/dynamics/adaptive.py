@@ -72,6 +72,17 @@ class AdaptiveSchedule(GraphSchedule):
         self._recorded[round_index] = out
         return out
 
+    def stable_until(self, round_index: int) -> int:
+        """No stability promise — adaptive graphs depend on node state.
+
+        The conservative hint forces the interval-aware adjacency cache
+        to query (and hence record) every round, which both keeps the
+        adversary adaptive and keeps the recording gap-free for
+        :meth:`to_explicit`.  Identical consecutive graphs are still
+        deduplicated downstream by content fingerprint.
+        """
+        return round_index
+
     def to_explicit(self) -> ExplicitSchedule:
         """Freeze the realised rounds for offline verification."""
         if not self._recorded:

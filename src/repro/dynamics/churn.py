@@ -91,6 +91,11 @@ class EdgeChurnAdversary(FunctionSchedule):
 
         super().__init__(num_nodes, fn, interval=None)
 
+    def stable_until(self, round_index: int) -> int:
+        # The candidate on/off mask is re-drawn once per dwell block
+        # (block = r // dwell), so the graph holds to the block's end.
+        return (round_index // self.dwell) * self.dwell + self.dwell - 1
+
 
 class RepairedMobilityAdversary(FunctionSchedule):
     """Unit-disk graph over smoothly moving nodes, repaired per window.

@@ -66,7 +66,22 @@ def dilate(base: GraphSchedule, s: int) -> FunctionSchedule:
             parts.append(base.edges(block - 1))
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
-    return FunctionSchedule(base.num_nodes, fn, interval=s)
+    def stable(r: int) -> int:
+        # Block 1 has no overlay, so all s of its rounds are identical;
+        # later blocks hold "block ∪ block-1" through position s-2 and
+        # drop the overlay only in the block's final round.
+        block = (r - 1) // s + 1
+        pos = (r - 1) % s
+        if s == 1:
+            return r
+        if block == 1:
+            return s
+        if pos < s - 1:
+            return (block - 1) * s + s - 1
+        return r
+
+    return FunctionSchedule(base.num_nodes, fn, interval=s,
+                            stable_until=stable)
 
 
 def union_schedules(a: GraphSchedule, b: GraphSchedule) -> FunctionSchedule:
@@ -89,7 +104,12 @@ def union_schedules(a: GraphSchedule, b: GraphSchedule) -> FunctionSchedule:
     def fn(r: int) -> np.ndarray:
         return np.concatenate([a.edges(r), b.edges(r)])
 
-    return FunctionSchedule(a.num_nodes, fn, interval=interval)
+    def stable(r: int) -> int:
+        # The union is unchanged while both parts are.
+        return min(a.stable_until(r), b.stable_until(r))
+
+    return FunctionSchedule(a.num_nodes, fn, interval=interval,
+                            stable_until=stable)
 
 
 def concatenate(a: GraphSchedule, prefix_rounds: int,
@@ -145,4 +165,5 @@ def relabel(base: GraphSchedule,
         return canonical_edges(perm[edges], base.num_nodes) if edges.size \
             else edges
 
-    return FunctionSchedule(base.num_nodes, fn, interval=base.interval)
+    return FunctionSchedule(base.num_nodes, fn, interval=base.interval,
+                            stable_until=base.stable_until)

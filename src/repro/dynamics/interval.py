@@ -21,7 +21,7 @@ import numpy as np
 
 from .._validate import require_nonnegative_int, require_positive_int
 from ..errors import ConfigurationError
-from .schedule import FunctionSchedule, canonical_edges
+from .schedule import STABLE_FOREVER, FunctionSchedule, canonical_edges
 from .topologies import random_tree_graph
 
 __all__ = [
@@ -69,8 +69,12 @@ class StaticAdversary(FunctionSchedule):
 
     def __init__(self, num_nodes: int, edges: object) -> None:
         fixed = canonical_edges(edges, num_nodes)
-        super().__init__(num_nodes, lambda r: fixed, interval=None)
+        super().__init__(num_nodes, lambda r: fixed, interval=None,
+                         canonical=True)
         self.fixed_edges = fixed
+
+    def stable_until(self, round_index: int) -> int:
+        return STABLE_FOREVER
 
 
 class StableBackboneAdversary(FunctionSchedule):
@@ -107,7 +111,13 @@ class StableBackboneAdversary(FunctionSchedule):
                 num_nodes, self.noise_edges, _rng_for(self.seed, r))
             return np.concatenate([self.backbone, noise])
 
-        super().__init__(num_nodes, fn, interval=None)
+        super().__init__(num_nodes, fn, interval=None,
+                         canonical=(self.noise_edges == 0))
+
+    def stable_until(self, round_index: int) -> int:
+        # With churn the graph is fresh every round; without it only the
+        # backbone remains, forever.
+        return round_index if self.noise_edges else STABLE_FOREVER
 
 
 class OverlapHandoffAdversary(FunctionSchedule):
@@ -156,21 +166,38 @@ class OverlapHandoffAdversary(FunctionSchedule):
         self.seed = require_nonnegative_int(seed, "seed")
         self._builder = backbone_builder or _relabeled_random_tree
         self._backbone_cache: dict[int, np.ndarray] = {}
+        self._union_cache: dict[int, np.ndarray] = {}
 
         def fn(r: int) -> np.ndarray:
             w = (r - 1) // self.T
-            parts = [self._backbone(num_nodes, w)]
-            # Last T-1 rounds of window w also carry B_{w+1}.
             pos_in_window = (r - 1) % self.T  # 0-based
+            # Last T-1 rounds of window w also carry B_{w+1}; the
+            # canonical union is memoized per window so the T-1 stable
+            # rounds cost one canonicalisation, not T-1.
             if self.T > 1 and pos_in_window >= 1:
-                parts.append(self._backbone(num_nodes, w + 1))
+                base = self._handoff_union(num_nodes, w)
+            else:
+                base = self._backbone(num_nodes, w)
             if self.noise_edges:
-                parts.append(random_noise_edges(
+                return np.concatenate([base, random_noise_edges(
                     num_nodes, self.noise_edges,
-                    _rng_for(self.seed, 1, r)))
-            return np.concatenate(parts)
+                    _rng_for(self.seed, 1, r))])
+            return base
 
-        super().__init__(num_nodes, fn, interval=self.T)
+        # Without churn, fn returns memoized canonical arrays verbatim,
+        # so the schedule may skip the per-round re-canonicalisation.
+        super().__init__(num_nodes, fn, interval=self.T,
+                         canonical=(noise_edges == 0))
+
+    def stable_until(self, round_index: int) -> int:
+        # Rounds 2..T of a window all carry B_w ∪ B_{w+1}; round 1 carries
+        # only B_w.  Churn edges break per-round stability entirely.
+        if self.noise_edges or self.T == 1:
+            return round_index
+        pos_in_window = (round_index - 1) % self.T
+        if pos_in_window == 0:
+            return round_index
+        return ((round_index - 1) // self.T + 1) * self.T
 
     def _backbone(self, n: int, window: int) -> np.ndarray:
         cached = self._backbone_cache.get(window)
@@ -182,12 +209,33 @@ class OverlapHandoffAdversary(FunctionSchedule):
             self._backbone_cache[window] = cached
         return cached
 
+    def _handoff_union(self, n: int, window: int) -> np.ndarray:
+        """Canonical ``B_w ∪ B_{w+1}``, memoized per window."""
+        cached = self._union_cache.get(window)
+        if cached is None:
+            cached = canonical_edges(np.concatenate([
+                self._backbone(n, window),
+                self._backbone(n, window + 1)]), n)
+            if len(self._union_cache) > 4:
+                self._union_cache.pop(next(iter(self._union_cache)))
+            self._union_cache[window] = cached
+        return cached
+
 
 def _relabeled_random_tree(n: int, rng: np.random.Generator) -> np.ndarray:
-    """Random recursive tree composed with a random node relabelling."""
-    tree = random_tree_graph(n, rng)
+    """Random recursive tree composed with a random node relabelling.
+
+    Draws the identical RNG stream as ``random_tree_graph`` followed by
+    a permutation, but skips the tree's internal canonicalisation — the
+    relabelling scrambles the ordering anyway, and the caller
+    (:meth:`OverlapHandoffAdversary._backbone`) canonicalises the
+    result, so the produced edge set is unchanged.
+    """
     if n == 1:
-        return tree
+        return random_tree_graph(n, rng)
+    child = np.arange(1, n)
+    parent = rng.integers(0, child)
+    tree = np.stack([parent, child], axis=1)
     perm = rng.permutation(n)
     return perm[tree]
 

@@ -15,11 +15,34 @@ engine can both replay the same schedule without storing every round.
 Adaptive schedules cannot be pure; they derive from
 :class:`~repro.dynamics.adaptive.AdaptiveSchedule`, which records its
 generated rounds for later verification.
+
+Interval-aware adjacency caching
+--------------------------------
+The T-interval model's defining property — the graph is *stable across
+whole windows of rounds* — is also a performance property: the engine
+should not rebuild adjacency for rounds it can prove are identical.  Two
+cooperating mechanisms exploit it:
+
+* :meth:`GraphSchedule.stable_until` — a schedule-specific hint, "the
+  graph of round ``r`` is unchanged through round ``stable_until(r)``".
+  Constructive adversaries override it (a static graph is stable forever;
+  an overlap-handoff window is stable to the window's end); adaptive and
+  recording schedules keep the conservative default ``r`` so every round
+  is still generated and recorded.
+* a **content-fingerprint cache** — rounds whose hints cannot prove
+  stability (e.g. the odd rounds of an alternating-matchings schedule)
+  still share one :class:`CSRAdjacency` per *distinct graph*, because the
+  cache is keyed by a hash of the canonical edge bytes, not by the round
+  index.
+
+:meth:`GraphSchedule.adjacency` and :meth:`GraphSchedule.neighbors` are
+both served from this cache; the engine's fast path consumes the CSR form
+directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,11 +51,148 @@ from ..errors import ConfigurationError, ScheduleError
 
 __all__ = [
     "canonical_edges",
+    "build_csr",
+    "CSRAdjacency",
+    "STABLE_FOREVER",
     "GraphSchedule",
     "ExplicitSchedule",
     "FunctionSchedule",
     "RecordingSchedule",
 ]
+
+#: Sentinel round index meaning "this graph never changes again"; used by
+#: :meth:`GraphSchedule.stable_until` overrides of static-flavoured
+#: schedules.  Any real round index compares smaller.
+STABLE_FOREVER = 2 ** 62
+
+
+class CSRAdjacency:
+    """Compressed-sparse-row adjacency of one round's graph.
+
+    ``indices[indptr[j]:indptr[j+1]]`` are node ``j``'s neighbour indices
+    in **ascending order** — exactly the order the legacy per-node
+    neighbour lists used, which is what keeps the engine's fast path
+    byte-identical to the reference path.
+
+    The object also memoizes the derived forms the hot loops want
+    (plain-Python neighbour lists and degree lists, per-node ``ndarray``
+    views), so the cost of materialising them is paid once per *distinct
+    graph*, not once per round.
+    """
+
+    __slots__ = ("indptr", "indices", "num_nodes",
+                 "_degrees", "_degree_list", "_neighbor_lists",
+                 "_neighbor_arrays", "_indices_list", "_indptr_list")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 num_nodes: int) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.num_nodes = num_nodes
+        self._degrees: Optional[np.ndarray] = None
+        self._degree_list: Optional[List[int]] = None
+        self._neighbor_lists: Optional[List[List[int]]] = None
+        self._neighbor_arrays: Optional[List[np.ndarray]] = None
+        self._indices_list: Optional[List[int]] = None
+        self._indptr_list: Optional[List[int]] = None
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, as an int64 array (memoized)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    def degree_list(self) -> List[int]:
+        """Degrees as a plain Python list (memoized; avoids scalar boxing)."""
+        if self._degree_list is None:
+            self._degree_list = self.degrees().tolist()
+        return self._degree_list
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        """Neighbour indices of *node* (ascending int32 view)."""
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def neighbor_arrays(self) -> List[np.ndarray]:
+        """Per-node neighbour index arrays (views into ``indices``)."""
+        if self._neighbor_arrays is None:
+            indptr, indices = self.indptr, self.indices
+            self._neighbor_arrays = [
+                indices[indptr[j]:indptr[j + 1]]
+                for j in range(self.num_nodes)
+            ]
+        return self._neighbor_arrays
+
+    def indices_list(self) -> List[int]:
+        """The flat CSR index array as plain Python ints (memoized)."""
+        if self._indices_list is None:
+            self._indices_list = self.indices.tolist()
+        return self._indices_list
+
+    def indptr_list(self) -> List[int]:
+        """The CSR row-pointer array as plain Python ints (memoized)."""
+        if self._indptr_list is None:
+            self._indptr_list = self.indptr.tolist()
+        return self._indptr_list
+
+    def neighbor_lists(self) -> List[List[int]]:
+        """Per-node neighbour lists of plain Python ints (memoized).
+
+        The engine's delivery loop indexes payload lists with these;
+        plain ints avoid the per-element numpy-scalar boxing that
+        dominates the reference path at large N.
+        """
+        if self._neighbor_lists is None:
+            flat = self.indices_list()
+            bounds = self.indptr_list()
+            self._neighbor_lists = [
+                flat[bounds[j]:bounds[j + 1]]
+                for j in range(self.num_nodes)
+            ]
+        return self._neighbor_lists
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CSRAdjacency n={self.num_nodes} "
+                f"m={self.num_edges}>")
+
+
+def build_csr(edge_arr: np.ndarray, num_nodes: int) -> CSRAdjacency:
+    """Build a :class:`CSRAdjacency` from a canonical edge array.
+
+    Fully vectorized: both directions of every undirected edge are
+    sorted with a single :func:`numpy.lexsort` on ``(neighbour, node)``,
+    so each node's neighbour run comes out ascending — matching the
+    ordering contract documented on :class:`CSRAdjacency`.
+    """
+    if edge_arr.size == 0:
+        return CSRAdjacency(
+            np.zeros(num_nodes + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+            num_nodes,
+        )
+    src = np.concatenate([edge_arr[:, 0], edge_arr[:, 1]])
+    dst = np.concatenate([edge_arr[:, 1], edge_arr[:, 0]])
+    order = np.lexsort((dst, src))
+    indices = dst[order].astype(np.int32, copy=False)
+    counts = np.bincount(src, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRAdjacency(indptr, indices, num_nodes)
+
+
+def _graph_fingerprint(edge_arr: np.ndarray) -> Hashable:
+    """Content fingerprint of a canonical edge array.
+
+    Canonical arrays are a unique representation per graph, so hashing
+    their bytes identifies the graph regardless of which round produced
+    it — the key that lets stable T-interval windows (and any other
+    repeats) share one adjacency build.
+    """
+    return (edge_arr.shape[0], hash(edge_arr.tobytes()))
 
 
 def canonical_edges(edges: object, num_nodes: int) -> np.ndarray:
@@ -57,8 +217,14 @@ def canonical_edges(edges: object, num_nodes: int) -> np.ndarray:
     hi = np.maximum(arr[:, 0], arr[:, 1])
     if (lo == hi).any():
         raise ScheduleError("self-loops are not allowed")
-    canon = np.stack([lo, hi], axis=1).astype(np.int32)
-    canon = np.unique(canon, axis=0)
+    # Dedupe + lex-sort via packed scalar keys: since ``hi < num_nodes``,
+    # the numeric order of ``lo * num_nodes + hi`` equals the
+    # lexicographic row order, and 1-D unique is far faster than the
+    # row-wise ``np.unique(..., axis=0)``.
+    key = np.unique(lo * np.int64(num_nodes) + hi)
+    canon = np.empty((len(key), 2), dtype=np.int32)
+    canon[:, 0] = key // num_nodes
+    canon[:, 1] = key % num_nodes
     return canon
 
 
@@ -79,15 +245,21 @@ class GraphSchedule:
         schedule may promise ``interval=None`` meaning "every T").
     """
 
-    #: maximum rounds of neighbour lists kept in the conversion cache
-    _NEIGHBOR_CACHE = 8
+    #: maximum number of *distinct graphs* kept in the adjacency cache
+    #: (bounded LRU; one CSR per fingerprint, shared by every round that
+    #: realises the same graph)
+    _ADJACENCY_CACHE = 16
 
     def __init__(self, num_nodes: int, interval: Optional[int] = 1) -> None:
         self.num_nodes = require_positive_int(num_nodes, "num_nodes")
         if interval is not None:
             require_positive_int(interval, "interval")
         self.interval = interval
-        self._neighbor_cache: Dict[int, List[np.ndarray]] = {}
+        # fingerprint -> CSRAdjacency, insertion-ordered for LRU eviction
+        self._adj_cache: Dict[Hashable, CSRAdjacency] = {}
+        # (lo, hi, csr): rounds lo..hi are known to share `csr` — set from
+        # the stable_until hint so stable windows skip edges() entirely
+        self._adj_span: Optional[Tuple[int, int, CSRAdjacency]] = None
 
     # -- abstract -------------------------------------------------------------
 
@@ -95,23 +267,58 @@ class GraphSchedule:
         """Canonical edge array of the graph for 1-based *round_index*."""
         raise NotImplementedError
 
+    # -- stability hints ------------------------------------------------------
+
+    def stable_until(self, round_index: int) -> int:
+        """Last round through which the graph of *round_index* is unchanged.
+
+        The interval-aware cache contract: returning ``s >= round_index``
+        promises ``edges(r) == edges(round_index)`` for every ``r`` in
+        ``[round_index, s]``, letting :meth:`adjacency` serve the whole
+        span from one build without re-querying :meth:`edges`.  The
+        conservative default is ``round_index`` itself (no promise);
+        schedules whose construction guarantees stability — static
+        graphs, dwell blocks, the shared portion of overlap-handoff
+        windows — override this.  Schedules with side effects on
+        :meth:`edges` (adaptive recording) must **not** promise beyond
+        ``round_index``.
+        """
+        return round_index
+
     # -- derived --------------------------------------------------------------
 
-    def neighbors(self, round_index: int) -> List[np.ndarray]:
-        """Per-node neighbour index arrays for the round's graph (cached)."""
-        cached = self._neighbor_cache.get(round_index)
-        if cached is not None:
-            return cached
+    def adjacency(self, round_index: int) -> CSRAdjacency:
+        """CSR adjacency of the round's graph, interval-aware cached.
+
+        Rounds inside a known-stable span (per :meth:`stable_until`)
+        return the same :class:`CSRAdjacency` object without touching
+        :meth:`edges`; other rounds are deduplicated by content
+        fingerprint, so T identical rounds cost one build, not T.
+        """
+        span = self._adj_span
+        if span is not None and span[0] <= round_index <= span[1]:
+            return span[2]
         edge_arr = self.edges(round_index)
-        lists: List[List[int]] = [[] for _ in range(self.num_nodes)]
-        for u, v in edge_arr:
-            lists[u].append(v)
-            lists[v].append(u)
-        out = [np.asarray(item, dtype=np.int32) for item in lists]
-        if len(self._neighbor_cache) >= self._NEIGHBOR_CACHE:
-            self._neighbor_cache.pop(next(iter(self._neighbor_cache)))
-        self._neighbor_cache[round_index] = out
-        return out
+        key = _graph_fingerprint(edge_arr)
+        cache = self._adj_cache
+        csr = cache.pop(key, None)
+        if csr is None:
+            csr = build_csr(edge_arr, self.num_nodes)
+            if len(cache) >= self._ADJACENCY_CACHE:
+                cache.pop(next(iter(cache)))
+        cache[key] = csr
+        self._adj_span = (
+            round_index, max(round_index, self.stable_until(round_index)), csr)
+        return csr
+
+    def neighbors(self, round_index: int) -> List[np.ndarray]:
+        """Per-node neighbour index arrays for the round's graph (cached).
+
+        Served from the same graph-identity cache as :meth:`adjacency`:
+        identical rounds of a stable T-interval window share one set of
+        arrays instead of storing per-round duplicates.
+        """
+        return self.adjacency(round_index).neighbor_arrays()
 
     def degrees(self, round_index: int) -> np.ndarray:
         """Degree of every node in the round's graph."""
@@ -161,11 +368,37 @@ class ExplicitSchedule(GraphSchedule):
             raise ConfigurationError("rounds must be non-empty")
         self._rounds = [canonical_edges(e, num_nodes) for e in rounds]
         self.cycle = bool(cycle)
+        self._run_end: Optional[List[int]] = None  # lazily computed
 
     @property
     def horizon(self) -> int:
         """Number of explicitly stored rounds."""
         return len(self._rounds)
+
+    def stable_until(self, round_index: int) -> int:
+        """End of the run of byte-identical stored rounds containing *r*.
+
+        Computed once by fingerprinting each stored round and merging
+        adjacent equal ones; conservative across the cycle wrap (a run
+        never extends past the stored horizon).
+        """
+        if len(self._rounds) == 1:
+            return STABLE_FOREVER if self.cycle else round_index
+        if self._run_end is None:
+            prints = [_graph_fingerprint(arr) for arr in self._rounds]
+            run_end = [0] * len(prints)
+            end = len(prints) - 1
+            for idx in range(len(prints) - 1, -1, -1):
+                if idx < len(prints) - 1 and prints[idx] != prints[idx + 1]:
+                    end = idx
+                run_end[idx] = end
+            self._run_end = run_end
+        idx = round_index - 1
+        if idx >= len(self._rounds):
+            if not self.cycle:
+                return round_index
+            idx %= len(self._rounds)
+        return round_index + (self._run_end[idx] - idx)
 
     def edges(self, round_index: int) -> np.ndarray:
         require_positive_int(round_index, "round_index")
@@ -192,22 +425,47 @@ class FunctionSchedule(GraphSchedule):
         the verifier may both evaluate it for the same round).
     interval:
         The T the generator guarantees.
+    stable_until:
+        Optional stability hint ``fn(round_index) -> last_stable_round``
+        (see :meth:`GraphSchedule.stable_until`); combinators use this to
+        propagate the hints of the schedules they wrap.  Subclasses may
+        equivalently override the method.
+    canonical:
+        Promise that *fn* already returns arrays in the exact form
+        :func:`canonical_edges` would produce (sorted unique ``u < v``
+        int32 rows), letting :meth:`edges` skip the re-canonicalisation
+        sort.  Safe because :func:`canonical_edges` is idempotent — a
+        wrong promise changes performance characteristics only if the
+        promise is *kept*; adversaries set it only for code paths that
+        return memoized canonical arrays verbatim.
     """
 
     def __init__(self, num_nodes: int, fn: Callable[[int], object],
-                 interval: Optional[int] = 1) -> None:
+                 interval: Optional[int] = 1,
+                 stable_until: Optional[Callable[[int], int]] = None,
+                 canonical: bool = False) -> None:
         super().__init__(num_nodes, interval)
         self._fn = fn
+        self._stable_until_fn = stable_until
+        self._fn_canonical = bool(canonical)
         self._edge_cache: Dict[int, np.ndarray] = {}
 
     _EDGE_CACHE = 8
+
+    def stable_until(self, round_index: int) -> int:
+        if self._stable_until_fn is not None:
+            return self._stable_until_fn(round_index)
+        return round_index
 
     def edges(self, round_index: int) -> np.ndarray:
         require_positive_int(round_index, "round_index")
         cached = self._edge_cache.get(round_index)
         if cached is not None:
             return cached
-        out = canonical_edges(self._fn(round_index), self.num_nodes)
+        if self._fn_canonical:
+            out = self._fn(round_index)
+        else:
+            out = canonical_edges(self._fn(round_index), self.num_nodes)
         if len(self._edge_cache) >= self._EDGE_CACHE:
             self._edge_cache.pop(next(iter(self._edge_cache)))
         self._edge_cache[round_index] = out
@@ -237,6 +495,15 @@ class RecordingSchedule(GraphSchedule):
             cached = self.inner.edges(round_index)
             self._recorded[round_index] = cached
         return cached
+
+    def stable_until(self, round_index: int) -> int:
+        """No stability promise: every round must hit :meth:`edges`.
+
+        Forwarding the inner schedule's hint would let the adjacency
+        cache skip ``edges`` for stable rounds, leaving gaps in the
+        recording (and :meth:`to_explicit` rejects gapped recordings).
+        """
+        return round_index
 
     def bind(self, nodes) -> None:
         """Forward engine binding to an adaptive inner schedule."""

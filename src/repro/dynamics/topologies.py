@@ -105,7 +105,10 @@ def random_tree_graph(n: int, rng: np.random.Generator) -> np.ndarray:
     if n == 1:
         return canonical_edges([], 1)
     child = np.arange(1, n)
-    parent = np.array([rng.integers(0, i) for i in range(1, n)])
+    # Vectorised bounds draw the same values (and advance the bit
+    # generator identically) as a per-i scalar loop, so existing seeded
+    # schedules are unchanged.
+    parent = rng.integers(0, child)
     return canonical_edges(np.stack([parent, child], axis=1), n)
 
 

@@ -55,6 +55,19 @@ def execute_cell(spec: TrialSpec, seed: int) -> Dict[str, Any]:
     return run_trial(spec.to_config(), seed).as_row()
 
 
+def _record_worker_phases(row: Dict[str, Any]) -> None:
+    """Fold a worker-executed row's ``phase.*`` timings into the parent
+    process's accumulator (worker-side accumulators die with the pool)."""
+    phases = {key[len("phase."):-len("_s")]: value
+              for key, value in row.items()
+              if key.startswith("phase.") and key.endswith("_s")
+              and isinstance(value, (int, float))}
+    if phases:
+        from ..harness.runner import record_phase_seconds
+
+        record_phase_seconds(phases)
+
+
 def _pool_run_cell(payload: Cell) -> Tuple[str, Any]:
     """Worker-process entry point: never raises across the pipe."""
     spec, seed = payload
@@ -253,9 +266,17 @@ class ParallelExecutor:
                   cacheable: bool = True) -> None:
         for idx in by_key[key]:
             results[idx] = row
-        self._journal(key, row)
+        # Profiled trials carry wall-clock phase.* columns — not
+        # deterministic row data, so they stay in the in-memory rows but
+        # never enter the journal or the content-addressed cache (which
+        # promise identical rows for identical (spec, seed)).
+        durable = row
+        if any(k.startswith("phase.") for k in row):
+            durable = {k: v for k, v in row.items()
+                       if not k.startswith("phase.")}
+        self._journal(key, durable)
         if cacheable and self.cache is not None:
-            self.cache.put(key, row)
+            self.cache.put(key, durable)
 
     def _notify(self, report: ExecutionReport, started: float,
                 results: Dict[int, Dict[str, Any]],
@@ -332,6 +353,7 @@ class ParallelExecutor:
                         status, payload = fut.result()
                         report.executed += 1
                         if status == "ok":
+                            _record_worker_phases(payload)
                             self._complete(keys[idx], payload, by_key,
                                            results)
                         else:

@@ -12,6 +12,13 @@ executor for the grid-shaped experiments (T1, F1, F3, F5, F6, X1): the
 measurement cells fan out across worker processes, completed rows are
 content-addressed on disk, and an interrupted run re-executes only the
 missing cells.  Parallel rows are byte-identical to serial rows.
+
+``--profile`` turns on the engine's per-phase timing (see
+``docs/PERFORMANCE.md``): every freshly executed trial contributes
+``compose`` / ``reveal`` / ``deliver`` / ``drain`` wall-clock totals to
+a process-wide accumulator and an aggregate is printed after each
+experiment.  The timings never enter the content-addressed result cache
+(they are not deterministic row data).
 """
 
 from __future__ import annotations
@@ -56,7 +63,26 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--resume", action="store_true",
                         help="resume interrupted runs from the journal "
                              "kept under CACHE_DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect per-phase engine timings "
+                             "(compose/reveal/deliver/drain) and print "
+                             "an aggregate after each experiment")
     return parser
+
+
+def _render_profile() -> str:
+    """One-line summary of the process-wide per-phase timing totals."""
+    from .runner import phase_totals
+
+    totals, trials = phase_totals()
+    if trials == 0:
+        return ("[profile] no trials executed (cached/resumed rows carry "
+                "no timings; rerun against a cold cache to measure)")
+    grand = sum(totals.values()) or 1.0
+    parts = ", ".join(
+        f"{name} {value:.3f}s ({100 * value / grand:.0f}%)"
+        for name, value in sorted(totals.items()))
+    return f"[profile] {trials} trials: {parts}"
 
 
 def _exec_options(args: argparse.Namespace) -> Optional[ExecOptions]:
@@ -102,6 +128,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}",
               file=sys.stderr)
         return 2
+    if args.profile:
+        from ..simnet.engine import set_profile_default
+
+        set_profile_default(True)
     exec_opts = _exec_options(args)
 
     # T1 feeds F1 and F5; share its rows when several are requested.
@@ -125,6 +155,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         elapsed = time.time() - started
         print(result.render())
         print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        if args.profile:
+            print(_render_profile())
+            print()
         if args.out:
             path = save_experiment(result, args.out)
             print(f"[saved to {path}]\n")

@@ -15,8 +15,8 @@ halting algorithms it coincides with the total rounds executed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
-                    Sequence, Union)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
 
 from ..simnet.engine import RunResult, Simulator
 from ..simnet.node import Algorithm
@@ -25,7 +25,41 @@ from ..simnet.rng import RngRegistry
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..exec.specs import TrialSpec
 
-__all__ = ["TrialConfig", "TrialResult", "run_trial", "run_replicates"]
+__all__ = ["TrialConfig", "TrialResult", "run_trial", "run_replicates",
+           "record_phase_seconds", "phase_totals", "reset_phase_totals"]
+
+# Process-wide accumulation of per-phase engine timings (profiled runs
+# only).  Every profiled trial executed in this process feeds it via
+# run_trial; the executor additionally feeds it with rows returned from
+# worker processes.  The CLI's --profile flag renders the totals after
+# each experiment — per-trial timings never enter the content-addressed
+# result cache (wall-clock values are not deterministic row data).
+_PHASE_TOTALS: Dict[str, float] = {}
+_PHASE_TRIALS = 0
+
+
+def record_phase_seconds(
+        phase_seconds: Optional[Mapping[str, float]]) -> None:
+    """Add one profiled trial's per-phase timings to the process totals."""
+    global _PHASE_TRIALS
+    if not phase_seconds:
+        return
+    _PHASE_TRIALS += 1
+    for name, seconds in phase_seconds.items():
+        _PHASE_TOTALS[name] = _PHASE_TOTALS.get(name, 0.0) + float(seconds)
+
+
+def phase_totals() -> Tuple[Dict[str, float], int]:
+    """``(accumulated per-phase seconds, number of profiled trials)``."""
+    return dict(_PHASE_TOTALS), _PHASE_TRIALS
+
+
+def reset_phase_totals() -> None:
+    """Clear the process-wide phase-timing accumulator."""
+    global _PHASE_TRIALS
+    _PHASE_TOTALS.clear()
+    _PHASE_TRIALS = 0
+
 
 ScheduleFactory = Callable[[int], object]         # seed -> schedule
 NodeFactory = Callable[[object, int], Sequence[Algorithm]]  # (schedule, seed) -> nodes
@@ -59,6 +93,12 @@ class TrialConfig:
     allow_timeout:
         Forward to the engine; timeouts then yield ``stop_reason ==
         "max_rounds"`` instead of raising.
+    engine:
+        Engine selection forwarded to :class:`Simulator` (``"fast"`` or
+        ``"reference"``; both produce identical results).
+    profile:
+        Per-phase wall-clock profiling; ``None`` defers to the
+        process-wide default (set by the CLI's ``--profile`` flag).
     """
 
     schedule_factory: ScheduleFactory
@@ -70,6 +110,8 @@ class TrialConfig:
     oracle: Optional[Oracle] = None
     bandwidth_bits: Optional[int] = None
     allow_timeout: bool = False
+    engine: str = "fast"
+    profile: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -87,6 +129,7 @@ class TrialResult:
     stop_reason: str
     outputs_sample: Any
     counters: Dict[str, int]
+    phase_seconds: Optional[Dict[str, float]] = None
 
     def as_row(self, **extra: Any) -> Dict[str, Any]:
         """Flatten to a results row, merging experiment parameters."""
@@ -100,15 +143,11 @@ class TrialResult:
             "correct": self.correct,
             "stop_reason": self.stop_reason,
         }
+        if self.phase_seconds is not None:
+            for name, seconds in sorted(self.phase_seconds.items()):
+                row[f"phase.{name}_s"] = seconds
         row.update(extra)
         return row
-
-
-class _MaxBitsProbe:
-    """Tracks the largest single broadcast, via the metrics counter hook."""
-
-    def __init__(self) -> None:
-        self.max_bits = 0
 
 
 def run_trial(config: TrialLike, seed: int) -> TrialResult:
@@ -126,19 +165,9 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
     sim = Simulator(
         schedule, nodes, rng=RngRegistry(seed),
         bandwidth_bits=config.bandwidth_bits,
+        engine=config.engine,
+        profile=config.profile,
     )
-    # Wrap on_broadcast to observe per-message sizes without touching the
-    # engine's hot path elsewhere.
-    probe = _MaxBitsProbe()
-    original = sim.metrics.on_broadcast
-
-    def on_broadcast(bits: int, degree: int) -> None:
-        if bits > probe.max_bits:
-            probe.max_bits = bits
-        original(bits, degree)
-
-    sim.metrics.on_broadcast = on_broadcast  # type: ignore[method-assign]
-
     result: RunResult = sim.run(
         max_rounds=config.max_rounds,
         until=config.until,
@@ -150,6 +179,7 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
     if config.oracle is not None:
         correct = bool(config.oracle(result.outputs, schedule))
     sample = next(iter(result.outputs.values()), None)
+    record_phase_seconds(result.metrics.phase_seconds)
     return TrialResult(
         seed=seed,
         rounds=result.rounds,
@@ -157,11 +187,13 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
         first_decision_round=result.metrics.first_decision_round,
         broadcast_bits=result.metrics.broadcast_bits,
         delivered_messages=result.metrics.delivered_messages,
-        max_message_bits=probe.max_bits,
+        max_message_bits=sim.metrics.max_broadcast_bits,
         correct=correct,
         stop_reason=result.stop_reason,
         outputs_sample=sample,
         counters=dict(result.metrics.counters),
+        phase_seconds=(dict(result.metrics.phase_seconds)
+                       if result.metrics.phase_seconds is not None else None),
     )
 
 

@@ -23,7 +23,7 @@ Public surface:
 * :func:`~repro.simnet.message.bit_size` — CONGEST-style message costing.
 """
 
-from .engine import Simulator, RunResult
+from .engine import Simulator, RunResult, profile_default, set_profile_default
 from .node import Algorithm, RoundContext
 from .metrics import MetricsCollector, RunMetrics
 from .rng import RngRegistry, derive_seeds
@@ -33,6 +33,8 @@ from .trace import TraceRecorder, TraceEvent
 __all__ = [
     "Simulator",
     "RunResult",
+    "profile_default",
+    "set_profile_default",
     "Algorithm",
     "RoundContext",
     "MetricsCollector",

@@ -27,12 +27,41 @@ Stop conditions
 * a user predicate (``stop_when``);
 * the round budget ``max_rounds`` (raising
   :class:`~repro.errors.NotTerminatedError` unless ``allow_timeout``).
+
+Engines
+-------
+Two step implementations produce **identical** :class:`RunResult`\\ s
+(golden-equivalence tested across topologies × algorithms × loss rates):
+
+* ``engine="fast"`` (default) — consumes the schedule's interval-aware
+  CSR adjacency (see :meth:`repro.dynamics.GraphSchedule.adjacency`),
+  tracks the non-halted *active set* incrementally so per-round work is
+  ``O(active)``, reuses one :class:`RoundContext` per node, and computes
+  live degrees vectorised over the CSR.  Schedules that expose only the
+  minimal :class:`ScheduleLike` duck type (no ``adjacency``) fall back
+  to the reference engine transparently.
+* ``engine="reference"`` — the straightforward per-node loops, kept as
+  the executable specification the fast path is tested against.
+
+Profiling
+---------
+Pass ``profile=True`` (or set the module default via
+:func:`set_profile_default` / the ``REPRO_PROFILE=1`` environment
+variable, which is what the harness CLI's ``--profile`` flag does) to
+collect monotonic per-phase wall-clock totals — ``compose``, ``reveal``,
+``deliver``, ``drain`` — surfaced as
+:attr:`~repro.simnet.metrics.RunMetrics.phase_seconds`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from itertools import islice
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from .._validate import require_choice, require_positive_int
 from ..errors import BandwidthExceededError, ConfigurationError, NotTerminatedError
@@ -42,7 +71,31 @@ from .node import Algorithm, RoundContext
 from .rng import RngRegistry
 from .trace import TraceEvent, TraceRecorder
 
-__all__ = ["Simulator", "RunResult", "ScheduleLike"]
+__all__ = ["Simulator", "RunResult", "ScheduleLike",
+           "set_profile_default", "profile_default"]
+
+#: Phase names of the per-round profiling breakdown, in execution order.
+PHASES = ("compose", "reveal", "deliver", "drain")
+
+_PROFILE_DEFAULT = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+def set_profile_default(enabled: bool) -> None:
+    """Set the process-wide default for ``Simulator(profile=None)``.
+
+    The harness CLI's ``--profile`` flag calls this before running
+    experiments, so every simulator the experiment grids construct picks
+    up per-phase timing without threading a flag through every spec
+    (worker processes inherit the setting under the default ``fork``
+    start method).
+    """
+    global _PROFILE_DEFAULT
+    _PROFILE_DEFAULT = bool(enabled)
+
+
+def profile_default() -> bool:
+    """Current process-wide profiling default."""
+    return _PROFILE_DEFAULT
 
 
 class ScheduleLike(Protocol):
@@ -124,6 +177,13 @@ class Simulator:
         known-bound algorithms lose their correctness guarantee, while
         the stabilizing core remains eventually correct as long as
         information keeps flowing.
+    engine:
+        ``"fast"`` (default) or ``"reference"``; see the module
+        docstring.  Both produce identical results — ``"reference"``
+        exists as the executable specification and for debugging.
+    profile:
+        Collect per-phase wall-clock totals (see the module docstring).
+        ``None`` (default) resolves to :func:`profile_default`.
     """
 
     def __init__(
@@ -136,6 +196,8 @@ class Simulator:
         id_bits: int = 32,
         trace: Optional[TraceRecorder] = None,
         loss_rate: float = 0.0,
+        engine: str = "fast",
+        profile: Optional[bool] = None,
     ) -> None:
         if len(nodes) != schedule.num_nodes:
             raise ConfigurationError(
@@ -147,6 +209,7 @@ class Simulator:
             raise ConfigurationError("node ids must be distinct")
         if bandwidth_bits is not None:
             require_positive_int(bandwidth_bits, "bandwidth_bits")
+        require_choice(engine, "engine", ("fast", "reference"))
         self.schedule = schedule
         self.nodes: List[Algorithm] = list(nodes)
         self.rng = rng if rng is not None else RngRegistry(0)
@@ -165,28 +228,85 @@ class Simulator:
             self.rng.for_node("node", node.node_id) for node in self.nodes
         ]
         self._quiescent_streak = 0
+        n = len(self.nodes)
         # Payload objects repeat across rounds once protocols converge
         # (see AggregateNode's encode cache); memoize their bit cost by
-        # identity, keeping a strong ref so the id stays valid.
+        # identity, keeping a strong ref so the id stays valid.  Bounded
+        # by evicting the oldest quarter, so converged-payload entries
+        # survive cache pressure.
         self._bits_cache: Dict[int, Tuple[Any, int]] = {}
+        self._bits_cache_cap = max(64, 4 * n)
+        # The fast path needs the schedule's CSR adjacency; minimal
+        # ScheduleLike implementations fall back to the reference loops.
+        if engine == "fast" and getattr(schedule, "adjacency", None) is None:
+            engine = "reference"
+        self.engine = engine
+        if profile is None:
+            profile = _PROFILE_DEFAULT
+        self.profile = bool(profile)
+        self._phase_seconds: Optional[Dict[str, float]] = (
+            {name: 0.0 for name in PHASES} if self.profile else None)
+        # Fast-path state: one reusable context per node, the ascending
+        # active (non-halted) index list maintained incrementally, the
+        # halted mask consumed by the vectorised live-degree computation,
+        # and reusable payload/sendable scratch.
+        self._contexts = [
+            RoundContext(0, self._node_rngs[i], self.metrics.incr)
+            for i in range(n)
+        ]
+        self._active: List[int] = list(range(n))
+        self._halted_mask = np.zeros(n, dtype=bool)
+        self._any_halted = False
+        self._payloads: List[Any] = [None] * n
+        self._sendable: List[bool] = [False] * n
         # Adaptive schedules inspect node state; give them the node list.
         bind = getattr(schedule, "bind", None)
         if bind is not None:
             bind(self.nodes)
 
+    # -- payload costing -----------------------------------------------------
+
+    def _payload_bits(self, payload: Any) -> int:
+        """Bit cost of *payload*, memoized by object identity.
+
+        On overflow the **oldest quarter** of entries is evicted (dict
+        insertion order) rather than dropping the whole cache, so the
+        long-lived converged payloads that motivate the memoization keep
+        their entries under pressure from transient ones.
+        """
+        cache = self._bits_cache
+        entry = cache.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            return entry[1]
+        bits = bit_size(payload, self.id_bits)
+        if len(cache) >= self._bits_cache_cap:
+            for key in list(islice(iter(cache), self._bits_cache_cap // 4)):
+                del cache[key]
+        cache[id(payload)] = (payload, bits)
+        return bits
+
     # -- single round --------------------------------------------------------
 
     def step(self) -> None:
         """Execute exactly one round."""
+        if self.engine == "fast":
+            self._step_fast()
+        else:
+            self._step_reference()
+
+    def _step_reference(self) -> None:
+        """One round via the straightforward per-node loops (the spec)."""
         self.round_index += 1
         r = self.round_index
         nodes = self.nodes
         n = len(nodes)
         trace = self.trace
+        prof = self._phase_seconds
         if trace is not None:
             trace.record(TraceEvent(r, "round", None))
 
         # Phase 1: compose (graph not yet revealed to nodes).
+        t0 = perf_counter() if prof is not None else 0.0
         payloads: List[Any] = [None] * n
         for i in range(n):
             node = nodes[i]
@@ -196,21 +316,17 @@ class Simulator:
             payloads[i] = node.compose(ctx)
 
         # Phase 2: reveal the round's graph and account for transmissions.
+        if prof is not None:
+            t1 = perf_counter()
+            prof["compose"] += t1 - t0
+            t0 = t1
         neighbors = self.schedule.neighbors(r)
         halted = [node.halted for node in nodes]
-        bits_cache = self._bits_cache
         for i in range(n):
             payload = payloads[i]
             if payload is None:
                 continue
-            entry = bits_cache.get(id(payload))
-            if entry is not None and entry[0] is payload:
-                bits = entry[1]
-            else:
-                bits = bit_size(payload, self.id_bits)
-                if len(bits_cache) >= 4 * n:
-                    bits_cache.clear()
-                bits_cache[id(payload)] = (payload, bits)
+            bits = self._payload_bits(payload)
             if self.bandwidth_bits is not None and bits > self.bandwidth_bits:
                 if self.strict_bandwidth:
                     raise BandwidthExceededError(
@@ -226,6 +342,10 @@ class Simulator:
                 trace.record(TraceEvent(r, "broadcast", nodes[i].node_id, payload))
 
         # Phase 3: deliver inboxes.
+        if prof is not None:
+            t1 = perf_counter()
+            prof["reveal"] += t1 - t0
+            t0 = t1
         all_changed_false = True
         loss_rng = self._loss_rng
         loss_rate = self.loss_rate
@@ -261,11 +381,322 @@ class Simulator:
                 elif kind == "halt":
                     if trace is not None:
                         trace.record(TraceEvent(r, "halt", node.node_id))
+        if prof is not None:
+            t1 = perf_counter()
+            prof["deliver"] += t1 - t0  # drain interleaved with delivery
 
         self._quiescent_streak = (
             self._quiescent_streak + 1 if all_changed_false else 0
         )
         self.metrics.on_round_executed()
+
+    def _step_fast(self) -> None:
+        """One round via the vectorized fast path.
+
+        Equivalent to :meth:`_step_reference` observable-for-observable:
+        same metrics, same trace event stream, same RNG consumption, same
+        node callback order.  The differences are purely mechanical —
+        iteration over the active set instead of ``range(n)``, one
+        reusable context per node, CSR adjacency shared across stable
+        T-interval windows, and live degrees computed vectorised.
+        """
+        self.round_index += 1
+        r = self.round_index
+        nodes = self.nodes
+        trace = self.trace
+        prof = self._phase_seconds
+        metrics = self.metrics
+        if trace is not None:
+            trace.record(TraceEvent(r, "round", None))
+
+        active = self._active
+        payloads = self._payloads
+        contexts = self._contexts
+        halted_mask = self._halted_mask
+
+        # Phase 1: compose (graph not yet revealed to nodes).
+        t0 = perf_counter() if prof is not None else 0.0
+        senders: List[int] = []
+        halted_in_compose = False
+        for i in active:
+            node = nodes[i]
+            ctx = contexts[i]
+            ctx.round_index = r
+            payload = node.compose(ctx)
+            payloads[i] = payload
+            if payload is not None:
+                senders.append(i)
+            if node._halted:
+                halted_mask[i] = True
+                halted_in_compose = True
+        if halted_in_compose:
+            self._any_halted = True
+
+        # Phase 2: reveal the round's graph and account for transmissions.
+        if prof is not None:
+            t1 = perf_counter()
+            prof["compose"] += t1 - t0
+            t0 = t1
+        csr = self.schedule.adjacency(r)
+        if (prof is None and trace is None
+                and not (self.strict_bandwidth
+                         and self.bandwidth_bits is not None)):
+            # Steady-state fused loop: phases 2-4 in one pass (see
+            # _finish_round_fused for why the results are identical).
+            self._finish_round_fused(r, csr, senders, halted_in_compose)
+            return
+        if not self._any_halted:
+            live: List[int] = csr.degree_list()
+        else:
+            # live[i] = #non-halted neighbours of i, via a prefix sum over
+            # the CSR (reduceat mis-handles empty neighbour runs).
+            alive = ~halted_mask
+            cum = np.zeros(len(csr.indices) + 1, dtype=np.int64)
+            np.cumsum(alive[csr.indices], out=cum[1:])
+            live = (cum[csr.indptr[1:]] - cum[csr.indptr[:-1]]).tolist()
+        bandwidth_bits = self.bandwidth_bits
+        on_broadcast = metrics.on_broadcast
+        for i in senders:
+            payload = payloads[i]
+            bits = self._payload_bits(payload)
+            if bandwidth_bits is not None and bits > bandwidth_bits:
+                if self.strict_bandwidth:
+                    raise BandwidthExceededError(
+                        f"node {nodes[i].node_id} composed a {bits}-bit "
+                        f"message; budget is {bandwidth_bits} bits",
+                        node_id=nodes[i].node_id, bits=bits,
+                        limit=bandwidth_bits,
+                    )
+                metrics.incr("bandwidth_overflows")
+            on_broadcast(bits, live[i])
+            if trace is not None:
+                trace.record(TraceEvent(r, "broadcast", nodes[i].node_id, payload))
+
+        # Phase 3: deliver inboxes.
+        if prof is not None:
+            t1 = perf_counter()
+            prof["reveal"] += t1 - t0
+            t0 = t1
+        sendable = self._sendable
+        for i in senders:
+            if not halted_mask[i]:
+                sendable[i] = True
+        # When every node is live and broadcast, skip the per-neighbour
+        # sendability filter entirely (the common steady state).
+        all_send = not self._any_halted and len(senders) == len(active)
+        nlists = csr.neighbor_lists()
+        loss_rng = self._loss_rng
+        loss_rate = self.loss_rate
+        all_changed_false = True
+        delivered: List[int] = []
+        for j in active:
+            if halted_mask[j]:
+                continue  # halted during this round's compose
+            nbrs = nlists[j]
+            if all_send:
+                inbox = [payloads[k] for k in nbrs]
+            else:
+                inbox = [payloads[k] for k in nbrs if sendable[k]]
+            if loss_rng is not None and inbox:
+                kept = loss_rng.random(len(inbox)) >= loss_rate
+                dropped = len(inbox) - int(kept.sum())
+                if dropped:
+                    metrics.incr("messages_lost", dropped)
+                    inbox = [m for m, keep in zip(inbox, kept) if keep]
+            node = nodes[j]
+            node.deliver(contexts[j], inbox)
+            if node._state_changed:
+                all_changed_false = False
+            delivered.append(j)
+        for i in senders:
+            sendable[i] = False
+
+        # Phase 4: drain decision events.  Deliveries record no trace
+        # events themselves, so draining after the delivery loop yields
+        # the same event stream as the reference's interleaved drain.
+        if prof is not None:
+            t1 = perf_counter()
+            prof["deliver"] += t1 - t0
+            t0 = t1
+        on_decision = metrics.on_decision
+        halted_in_deliver = False
+        for j in delivered:
+            node = nodes[j]
+            events = node._events
+            if not events:
+                continue
+            node._events = []
+            node_id = node.node_id
+            for event in events:
+                kind = event[0]
+                if kind == "decide":
+                    on_decision(node_id, r)
+                    if trace is not None:
+                        trace.record(TraceEvent(r, "decide", node_id, event[1]))
+                elif kind == "retract":
+                    metrics.on_retraction(node_id)
+                    if trace is not None:
+                        trace.record(TraceEvent(r, "retract", node_id))
+                elif kind == "halt":
+                    halted_mask[j] = True
+                    halted_in_deliver = True
+                    if trace is not None:
+                        trace.record(TraceEvent(r, "halt", node_id))
+        if prof is not None:
+            prof["drain"] += perf_counter() - t0
+
+        if halted_in_compose or halted_in_deliver:
+            self._any_halted = True
+            self._active = [i for i in active if not halted_mask[i]]
+
+        self._quiescent_streak = (
+            self._quiescent_streak + 1 if all_changed_false else 0
+        )
+        metrics.on_round_executed()
+
+    def _finish_round_fused(self, r: int, csr: Any, senders: List[int],
+                            halted_in_compose: bool) -> None:
+        """Phases 2-4 of :meth:`_step_fast` fused into one active-set pass.
+
+        Valid only without tracing, profiling, or strict bandwidth: the
+        per-(node, round) metric updates are commutative sums, the loss
+        RNG is drawn only in the delivery phase (so interleaving the
+        accounting does not perturb the stream), and per-node drain order
+        is preserved — hence the final :class:`RunMetrics` are identical
+        to the split-phase loops, which remain in use whenever phase
+        boundaries are observable (trace events, per-phase timings, or a
+        mid-phase :class:`BandwidthExceededError`).
+        """
+        nodes = self.nodes
+        metrics = self.metrics
+        payloads = self._payloads
+        contexts = self._contexts
+        halted_mask = self._halted_mask
+        active = self._active
+        if not self._any_halted:
+            live: List[int] = csr.degree_list()
+        else:
+            alive = ~halted_mask
+            cum = np.zeros(len(csr.indices) + 1, dtype=np.int64)
+            np.cumsum(alive[csr.indices], out=cum[1:])
+            live = (cum[csr.indptr[1:]] - cum[csr.indptr[:-1]]).tolist()
+        sendable = self._sendable
+        all_send = not self._any_halted and len(senders) == len(active)
+        if all_send:
+            # Every neighbour's payload is delivered: gather the flat
+            # CSR-ordered payload list in one C-level pass, then each
+            # node's inbox is a plain slice of it.
+            flat_inbox = list(map(payloads.__getitem__, csr.indices_list()))
+            bounds = csr.indptr_list()
+            nlists = None
+        else:
+            for i in senders:
+                if not halted_mask[i]:
+                    sendable[i] = True
+            flat_inbox = bounds = None
+            nlists = csr.neighbor_lists()
+        loss_rng = self._loss_rng
+        loss_rate = self.loss_rate
+        bandwidth_bits = self.bandwidth_bits
+        # When on_broadcast has not been overridden on the instance, the
+        # per-sender sums are accumulated in locals and flushed once per
+        # round — same totals, ~N fewer calls per round.
+        aggregate = "on_broadcast" not in metrics.__dict__
+        on_broadcast = metrics.on_broadcast
+        on_decision = metrics.on_decision
+        bits_cache = self._bits_cache
+        n_bcast = sum_bits = n_msgs = sum_dbits = max_bits = 0
+        prev_payload = prev_bits = None
+        all_changed_false = True
+        halted_in_deliver = False
+        for j in active:
+            payload = payloads[j]
+            if payload is not None:
+                # Converged protocols broadcast one shared object from
+                # every node; the single-entry memo short-circuits the
+                # per-sender cache lookup in that steady state.
+                if payload is prev_payload:
+                    bits = prev_bits
+                else:
+                    entry = bits_cache.get(id(payload))
+                    if entry is not None and entry[0] is payload:
+                        bits = entry[1]
+                    else:
+                        bits = self._payload_bits(payload)
+                    prev_payload, prev_bits = payload, bits
+                if bandwidth_bits is not None and bits > bandwidth_bits:
+                    metrics.incr("bandwidth_overflows")
+                if aggregate:
+                    degree = live[j]
+                    n_bcast += 1
+                    n_msgs += degree
+                    sum_bits += bits
+                    sum_dbits += bits * degree
+                    if bits > max_bits:
+                        max_bits = bits
+                else:
+                    on_broadcast(bits, live[j])
+            if halted_in_compose and halted_mask[j]:
+                continue  # halted during this round's compose
+            if all_send:
+                inbox = flat_inbox[bounds[j]:bounds[j + 1]]
+            else:
+                inbox = [payloads[k] for k in nlists[j] if sendable[k]]
+            if loss_rng is not None and inbox:
+                kept = loss_rng.random(len(inbox)) >= loss_rate
+                dropped = len(inbox) - int(kept.sum())
+                if dropped:
+                    metrics.incr("messages_lost", dropped)
+                    inbox = [m for m, keep in zip(inbox, kept) if keep]
+            node = nodes[j]
+            node.deliver(contexts[j], inbox)
+            if node._state_changed:
+                all_changed_false = False
+            events = node._events
+            if events:
+                node._events = []
+                node_id = node.node_id
+                for event in events:
+                    kind = event[0]
+                    if kind == "decide":
+                        on_decision(node_id, r)
+                    elif kind == "retract":
+                        metrics.on_retraction(node_id)
+                    else:  # halt
+                        halted_mask[j] = True
+                        halted_in_deliver = True
+        if not all_send:
+            for i in senders:
+                sendable[i] = False
+        if aggregate and n_bcast:
+            metrics.broadcasts += n_bcast
+            metrics.delivered_messages += n_msgs
+            metrics.broadcast_bits += sum_bits
+            metrics.delivered_bits += sum_dbits
+            if max_bits > metrics.max_broadcast_bits:
+                metrics.max_broadcast_bits = max_bits
+
+        if halted_in_compose or halted_in_deliver:
+            self._any_halted = True
+            self._active = [i for i in active if not halted_mask[i]]
+
+        self._quiescent_streak = (
+            self._quiescent_streak + 1 if all_changed_false else 0
+        )
+        metrics.on_round_executed()
+
+    # -- stop-condition helpers ----------------------------------------------
+
+    def _all_halted(self) -> bool:
+        if self.engine == "fast":
+            return not self._active
+        return all(node.halted for node in self.nodes)
+
+    def _all_decided_or_halted(self) -> bool:
+        if self.engine == "fast":
+            nodes = self.nodes
+            return all(nodes[i]._decided for i in self._active)
+        return all(node.decided or node.halted for node in self.nodes)
 
     # -- full run --------------------------------------------------------------
 
@@ -292,16 +723,16 @@ class Simulator:
                 stop_reason = "predicate"
                 break
             if until == "halted":
-                if all(node.halted for node in self.nodes):
+                if self._all_halted():
                     stop_reason = "halted"
                     break
             elif until == "decided":
-                if all(node.decided or node.halted for node in self.nodes):
+                if self._all_decided_or_halted():
                     stop_reason = "decided"
                     break
             else:  # quiescent
                 if (self._quiescent_streak >= quiescence_window
-                        and all(node.decided or node.halted for node in self.nodes)):
+                        and self._all_decided_or_halted()):
                     stop_reason = "quiescent"
                     break
 
@@ -319,8 +750,11 @@ class Simulator:
         outputs = {
             node.node_id: node.output for node in self.nodes if node.decided
         }
+        phase_seconds = (
+            dict(self._phase_seconds) if self._phase_seconds is not None
+            else None)
         return RunResult(
-            metrics=self.metrics.snapshot(),
+            metrics=self.metrics.snapshot(phase_seconds=phase_seconds),
             outputs=outputs,
             rounds=self.round_index,
             stop_reason=stop_reason,

@@ -48,6 +48,11 @@ class RunMetrics:
         Per-node final-decision round, keyed by node id.
     counters:
         Algorithm-defined named counters.
+    phase_seconds:
+        Wall-clock totals per engine phase (``compose`` / ``reveal`` /
+        ``deliver`` / ``drain``), present only when the run was profiled
+        (``Simulator(profile=True)`` or the harness ``--profile`` flag);
+        ``None`` otherwise so unprofiled results stay byte-comparable.
     """
 
     rounds: int
@@ -59,6 +64,7 @@ class RunMetrics:
     last_decision_round: Optional[int]
     decision_rounds: Mapping[int, int]
     counters: Mapping[str, int]
+    phase_seconds: Optional[Mapping[str, float]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten to a plain dict (for CSV/JSON export by the harness)."""
@@ -73,6 +79,9 @@ class RunMetrics:
         }
         for name, value in sorted(self.counters.items()):
             out[f"counter.{name}"] = value
+        if self.phase_seconds is not None:
+            for name, seconds in sorted(self.phase_seconds.items()):
+                out[f"phase.{name}_s"] = seconds
         return out
 
 
@@ -85,6 +94,9 @@ class MetricsCollector:
     delivered_messages: int = 0
     broadcast_bits: int = 0
     delivered_bits: int = 0
+    #: Largest single broadcast seen (the CONGEST-style message-width
+    #: measure the harness reports as ``max_message_bits``).
+    max_broadcast_bits: int = 0
     _decision_rounds: Dict[int, int] = field(default_factory=dict)
     _counters: Dict[str, int] = field(default_factory=dict)
 
@@ -98,6 +110,8 @@ class MetricsCollector:
         self.delivered_messages += degree
         self.broadcast_bits += bits
         self.delivered_bits += bits * degree
+        if bits > self.max_broadcast_bits:
+            self.max_broadcast_bits = bits
 
     def on_decision(self, node_id: int, round_index: int) -> None:
         """Record *node_id* fixing its decision at 1-based *round_index*.
@@ -121,8 +135,13 @@ class MetricsCollector:
         """Node ids that currently hold a decision."""
         return tuple(sorted(self._decision_rounds))
 
-    def snapshot(self) -> RunMetrics:
-        """Freeze the current totals into a :class:`RunMetrics`."""
+    def snapshot(self,
+                 phase_seconds: Optional[Dict[str, float]] = None) -> RunMetrics:
+        """Freeze the current totals into a :class:`RunMetrics`.
+
+        *phase_seconds*, when given, carries the engine's per-phase
+        profiling totals into the frozen record.
+        """
         rounds = self._decision_rounds.values()
         return RunMetrics(
             rounds=self.rounds,
@@ -134,4 +153,5 @@ class MetricsCollector:
             last_decision_round=max(rounds) if rounds else None,
             decision_rounds=dict(self._decision_rounds),
             counters=dict(self._counters),
+            phase_seconds=phase_seconds,
         )

@@ -47,6 +47,14 @@ class RoundContext:
         The 1-based index of the current round.
     rng:
         The node's private :class:`numpy.random.Generator`.
+
+    Lifetime contract
+    -----------------
+    The engine's fast path keeps **one context per node** and rewrites
+    ``round_index`` in place each round (the reference path allocates
+    fresh ones; both are observably identical).  Nodes must therefore
+    treat the context as valid only for the duration of the current
+    ``compose``/``deliver`` call and never retain it across rounds.
     """
 
     __slots__ = ("round_index", "rng", "_incr")

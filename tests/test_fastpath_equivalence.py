@@ -1,0 +1,416 @@
+"""Golden equivalence: the fast engine is observably identical to the
+reference engine.
+
+The fast path (``Simulator(engine="fast")``, the default) must produce
+**byte-identical** results to the reference loops across topologies ×
+algorithms × loss rates: same outputs, same round counts, same stop
+reason, same metric counters, same trace event stream, and the same
+RNG consumption.  These tests are the contract that lets every
+experiment run on the fast path while the reference loops remain the
+executable specification.
+
+Also covered here: the CSR adjacency construction itself (against a
+naive reference), the interval-aware cache (object identity across
+stable windows, content-fingerprint dedup across windows), the
+``stable_until`` promise of every adversary, the bounded bit-size
+cache, and the per-phase profiling surface.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    AlternatingMatchingsAdversary,
+    EdgeChurnAdversary,
+    FreshSpanningAdversary,
+    OverlapHandoffAdversary,
+    RepairedMobilityAdversary,
+    StaticAdversary,
+    build_csr,
+    line_graph,
+)
+from repro.dynamics.schedule import STABLE_FOREVER
+from repro.core.exact_count import ExactCount
+from repro.exec.executor import ParallelExecutor
+from repro.exec.specs import TrialSpec
+from repro.harness.runner import phase_totals, reset_phase_totals, run_trial
+from repro.simnet import RngRegistry, Simulator, TraceRecorder
+from repro.simnet.engine import PHASES
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+def _run_both(spec: TrialSpec, seed: int):
+    """Run one spec under both engines, returning (fast, reference)."""
+    results = {}
+    for engine in ("fast", "reference"):
+        config = spec.to_config()
+        config.engine = engine
+        results[engine] = run_trial(config, seed)
+    return results["fast"], results["reference"]
+
+
+def _sim(schedule_factory, seed, *, engine, loss_rate=0.0, trace=None):
+    schedule = schedule_factory(seed)
+    nodes = [ExactCount(i) for i in range(schedule.num_nodes)]
+    return Simulator(schedule, nodes, rng=RngRegistry(seed),
+                     loss_rate=loss_rate, engine=engine, trace=trace)
+
+
+def _assert_run_results_equal(fast, ref):
+    """Field-by-field comparison of two RunResults (clear failure output)."""
+    assert fast.outputs == ref.outputs
+    assert fast.rounds == ref.rounds
+    assert fast.stop_reason == ref.stop_reason
+    fm, rm = fast.metrics, ref.metrics
+    assert fm.rounds == rm.rounds
+    assert fm.broadcasts == rm.broadcasts
+    assert fm.delivered_messages == rm.delivered_messages
+    assert fm.broadcast_bits == rm.broadcast_bits
+    assert fm.delivered_bits == rm.delivered_bits
+    assert fm.first_decision_round == rm.first_decision_round
+    assert fm.last_decision_round == rm.last_decision_round
+    assert dict(fm.decision_rounds) == dict(rm.decision_rounds)
+    assert dict(fm.counters) == dict(rm.counters)
+    assert fm == rm  # catches any field this list falls behind on
+
+
+# --------------------------------------------------------------------------
+# the equivalence grid: topologies × algorithms
+# --------------------------------------------------------------------------
+
+GRID = [
+    pytest.param(spec, id=label)
+    for label, spec in [
+        ("exact_count/lowdiam_T3", TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": 24, "T": 3},
+            nodes="exact_count", node_params={"n": 24},
+            max_rounds=3000, until="quiescent", quiescence_window=32,
+            oracle="count_exact")),
+        ("exact_count/fresh_spanning", TrialSpec(
+            schedule="fresh_spanning",
+            schedule_params={"n": 16, "noise_edges": 2},
+            nodes="exact_count", node_params={"n": 16},
+            max_rounds=3000, until="quiescent", quiescence_window=32,
+            oracle="count_exact")),
+        ("approx_count/overlap_T4", TrialSpec(
+            schedule="overlap_handoff",
+            schedule_params={"n": 16, "T": 4, "noise_edges": 2},
+            nodes="approx_count",
+            node_params={"n": 16, "eps": 0.25, "delta": 0.05},
+            max_rounds=3000, until="quiescent", quiescence_window=32,
+            oracle="count_approx", oracle_params={"eps": 0.25})),
+        ("hybrid_count/repaired_mobility", TrialSpec(
+            schedule="repaired_mobility", schedule_params={"n": 12, "T": 2},
+            nodes="hybrid_count", node_params={"n": 12},
+            max_rounds=3000, until="quiescent", quiescence_window=32,
+            allow_timeout=True)),
+        ("max/static_line", TrialSpec(
+            schedule="static_line", schedule_params={"n": 16},
+            nodes="sublinear_max_modvalue", node_params={"n": 16},
+            max_rounds=4000, until="quiescent", quiescence_window=32,
+            oracle="max_modvalue")),
+        ("token/lowdiam_T2", TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": 16, "T": 2},
+            nodes="token_dissemination",
+            node_params={"n": 16, "known_count": True},
+            max_rounds=1200, until="decided", oracle="count_exact")),
+        ("klo/lowdiam_T2", TrialSpec(
+            schedule="lowdiam_handoff", schedule_params={"n": 8, "T": 2},
+            nodes="klo_count", node_params={"n": 8},
+            max_rounds=4000, until="halted", oracle="count_exact")),
+        ("pipelined_exact/windowed_throttle", TrialSpec(
+            schedule="windowed_throttle", schedule_params={"n": 12, "T": 3},
+            nodes="pipelined_exact_count",
+            node_params={"n": 12, "ids_per_message": 4},
+            max_rounds=4000, until="quiescent", quiescence_window=32,
+            allow_timeout=True)),
+        ("exact_count/alternating", TrialSpec(
+            schedule="alternating_matchings", schedule_params={"n": 10},
+            nodes="exact_count", node_params={"n": 10},
+            max_rounds=4000, until="quiescent", quiescence_window=32,
+            allow_timeout=True)),
+    ]
+]
+
+
+@pytest.mark.parametrize("spec", GRID)
+@pytest.mark.parametrize("seed", [3, 11])
+def test_fast_matches_reference_across_grid(spec, seed):
+    fast, ref = _run_both(spec, seed)
+    assert fast == ref  # TrialResult is a frozen dataclass: full equality
+    if spec.oracle is not None:
+        assert fast.correct is True
+
+
+@pytest.mark.parametrize("loss_rate", [0.1, 0.3])
+@pytest.mark.parametrize("seed", [5, 19])
+def test_fast_matches_reference_under_loss(loss_rate, seed):
+    """Loss draws consume the shared stream in the identical order."""
+    def factory(s):
+        return OverlapHandoffAdversary(20, 2, noise_edges=2, seed=s)
+
+    results = {}
+    for engine in ("fast", "reference"):
+        sim = _sim(factory, seed, engine=engine, loss_rate=loss_rate)
+        results[engine] = sim.run(max_rounds=4000, until="quiescent",
+                                  quiescence_window=32, allow_timeout=True)
+    _assert_run_results_equal(results["fast"], results["reference"])
+    assert results["fast"].metrics.counters.get("messages_lost", 0) > 0
+
+
+@pytest.mark.parametrize("seed", [7])
+def test_trace_event_streams_identical(seed):
+    """Round/broadcast/decide/retract/halt events match, in order."""
+    def factory(s):
+        return OverlapHandoffAdversary(16, 2, noise_edges=1, seed=s)
+
+    traces = {}
+    for engine in ("fast", "reference"):
+        trace = TraceRecorder()
+        sim = _sim(factory, seed, engine=engine, trace=trace)
+        sim.run(max_rounds=2000, until="quiescent", quiescence_window=16)
+        traces[engine] = list(trace.events)
+    assert traces["fast"] == traces["reference"]
+
+
+def test_minimal_schedule_falls_back_to_reference():
+    """A duck-typed schedule without ``adjacency`` still runs (reference)."""
+    class Minimal:
+        num_nodes = 6
+
+        def neighbors(self, round_index):
+            base = line_graph(6)
+            out = [[] for _ in range(6)]
+            for u, v in base:
+                out[u].append(v)
+                out[v].append(u)
+            return out
+
+    nodes = [ExactCount(i) for i in range(6)]
+    sim = Simulator(Minimal(), nodes, rng=RngRegistry(0), engine="fast")
+    assert sim.engine == "reference"
+    result = sim.run(max_rounds=500, until="quiescent", quiescence_window=16)
+    assert result.outputs == {i: 6 for i in range(6)}
+
+
+# --------------------------------------------------------------------------
+# CSR adjacency and the interval-aware cache
+# --------------------------------------------------------------------------
+
+def _naive_neighbors(edge_arr, n):
+    out = [[] for _ in range(n)]
+    for u, v in edge_arr.tolist():
+        out[u].append(v)
+        out[v].append(u)
+    return [sorted(nbrs) for nbrs in out]
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: OverlapHandoffAdversary(18, 3, noise_edges=2, seed=4),
+    lambda: FreshSpanningAdversary(15, noise_edges=1, seed=4),
+    lambda: AlternatingMatchingsAdversary(12),
+    lambda: EdgeChurnAdversary(14, line_graph(14), dwell=3, seed=4),
+    lambda: StaticAdversary(10, line_graph(10)),
+    lambda: RepairedMobilityAdversary(12, T=2, seed=4),
+])
+def test_csr_matches_naive_adjacency(factory):
+    schedule = factory()
+    n = schedule.num_nodes
+    for r in range(1, 13):
+        csr = schedule.adjacency(r)
+        expected = _naive_neighbors(schedule.edges(r), n)
+        assert csr.neighbor_lists() == expected
+        assert csr.degree_list() == [len(nbrs) for nbrs in expected]
+        # legacy surface stays consistent with the CSR
+        legacy = schedule.neighbors(r)
+        assert [list(map(int, row)) for row in legacy] == expected
+
+
+def test_build_csr_empty_graph():
+    csr = build_csr(np.empty((0, 2), dtype=np.int64), 5)
+    assert csr.neighbor_lists() == [[], [], [], [], []]
+    assert csr.num_edges == 0
+
+
+def test_stable_window_shares_one_csr_object():
+    """Rounds 2..T of a stable window reuse the same CSR build."""
+    schedule = OverlapHandoffAdversary(16, 4, noise_edges=0, seed=1)
+    # window rounds: 1 (handoff union), then 2..4 stable
+    a2 = schedule.adjacency(2)
+    assert schedule.adjacency(3) is a2
+    assert schedule.adjacency(4) is a2
+    assert schedule.adjacency(5) is not a2  # next window's handoff round
+
+
+def test_fingerprint_dedupes_repeating_graphs():
+    """Identical graphs in different rounds share one cached CSR."""
+    from repro.dynamics import ExplicitSchedule
+
+    ga = [(0, 1), (1, 2)]
+    gb = [(0, 2)]
+    schedule = ExplicitSchedule(3, [ga, gb, ga, gb], cycle=True)
+    assert schedule.adjacency(1) is schedule.adjacency(3)
+    assert schedule.adjacency(2) is schedule.adjacency(4)
+    assert schedule.adjacency(1) is not schedule.adjacency(2)
+    # AlternatingMatchings repeats its full cycle on odd rounds only
+    # (even rounds drop a rotating edge) — dedup still kicks in there.
+    alt = AlternatingMatchingsAdversary(12)
+    assert alt.adjacency(1) is alt.adjacency(3)
+    assert alt.adjacency(3) is alt.adjacency(5)
+
+
+def test_static_schedule_is_stable_forever():
+    schedule = StaticAdversary(8, line_graph(8))
+    assert schedule.stable_until(1) == STABLE_FOREVER
+    first = schedule.adjacency(1)
+    assert schedule.adjacency(10_000) is first
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: OverlapHandoffAdversary(16, 4, noise_edges=0, seed=2),
+    lambda: OverlapHandoffAdversary(16, 4, noise_edges=2, seed=2),
+    lambda: EdgeChurnAdversary(14, line_graph(14), dwell=4, seed=2),
+    lambda: FreshSpanningAdversary(12, seed=2),
+    lambda: RepairedMobilityAdversary(12, T=3, seed=2),
+])
+def test_stable_until_promise_holds(factory):
+    """``edges(r')`` really is identical for r' in [r, stable_until(r)]."""
+    schedule = factory()
+    horizon = 20
+    for r in range(1, horizon + 1):
+        until = schedule.stable_until(r)
+        assert until >= r
+        ref = schedule.edges(r)
+        for rp in range(r + 1, min(until, horizon) + 1):
+            assert np.array_equal(schedule.edges(rp), ref), (
+                f"stable_until({r})={until} but edges({rp}) differ")
+
+
+# --------------------------------------------------------------------------
+# bit-size cache eviction
+# --------------------------------------------------------------------------
+
+def test_bits_cache_evicts_oldest_quarter_not_everything():
+    schedule = StaticAdversary(4, line_graph(4))
+    nodes = [ExactCount(i) for i in range(4)]
+    sim = Simulator(schedule, nodes, rng=RngRegistry(0))
+    cap = sim._bits_cache_cap
+    payloads = [("payload", i) for i in range(cap)]
+    for p in payloads:
+        sim._payload_bits(p)
+    assert len(sim._bits_cache) == cap
+    # One more insert triggers eviction of the oldest quarter only.
+    overflow = ("payload", "overflow")
+    sim._payload_bits(overflow)
+    assert len(sim._bits_cache) == cap - cap // 4 + 1
+    survivors = {entry[0] for entry in sim._bits_cache.values()}
+    assert overflow in survivors
+    assert payloads[-1] in survivors          # newest retained
+    assert payloads[0] not in survivors       # oldest evicted
+
+
+# --------------------------------------------------------------------------
+# per-phase profiling surface
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_profile_collects_phase_seconds(engine):
+    def factory(s):
+        return OverlapHandoffAdversary(12, 2, noise_edges=1, seed=s)
+
+    schedule = factory(0)
+    nodes = [ExactCount(i) for i in range(12)]
+    sim = Simulator(schedule, nodes, rng=RngRegistry(0),
+                    engine=engine, profile=True)
+    result = sim.run(max_rounds=1000, until="quiescent",
+                     quiescence_window=16)
+    phases = result.metrics.phase_seconds
+    assert phases is not None
+    assert set(phases) == set(PHASES)
+    assert all(seconds >= 0.0 for seconds in phases.values())
+    flat = result.metrics.as_dict()
+    for name in PHASES:
+        assert f"phase.{name}_s" in flat
+
+
+def test_profile_off_keeps_metrics_unannotated():
+    schedule = StaticAdversary(6, line_graph(6))
+    nodes = [ExactCount(i) for i in range(6)]
+    sim = Simulator(schedule, nodes, rng=RngRegistry(0))
+    result = sim.run(max_rounds=500, until="quiescent", quiescence_window=8)
+    assert result.metrics.phase_seconds is None
+    assert not any(k.startswith("phase.") for k in result.metrics.as_dict())
+
+
+def test_profile_flows_into_trial_result_rows():
+    spec = TrialSpec(
+        schedule="lowdiam_handoff", schedule_params={"n": 12, "T": 2},
+        nodes="exact_count", node_params={"n": 12},
+        max_rounds=1000, until="quiescent", quiescence_window=16)
+    config = spec.to_config()
+    config.profile = True
+    result = run_trial(config, 3)
+    assert result.phase_seconds is not None
+    row = result.as_row()
+    for name in PHASES:
+        assert f"phase.{name}_s" in row
+    # Unprofiled rows carry no phase columns at all.
+    unprofiled = run_trial(dataclasses.replace(spec), 3)
+    assert unprofiled.phase_seconds is None
+    assert not any(k.startswith("phase.") for k in unprofiled.as_row())
+
+
+def test_phase_totals_accumulate_per_profiled_trial():
+    spec = TrialSpec(
+        schedule="lowdiam_handoff", schedule_params={"n": 10, "T": 2},
+        nodes="exact_count", node_params={"n": 10},
+        max_rounds=1000, until="quiescent", quiescence_window=16)
+    reset_phase_totals()
+    try:
+        config = spec.to_config()
+        config.profile = True
+        run_trial(config, 1)
+        run_trial(config, 2)
+        totals, trials = phase_totals()
+        assert trials == 2
+        assert set(totals) == set(PHASES)
+        assert all(seconds >= 0.0 for seconds in totals.values())
+        # Unprofiled trials contribute nothing.
+        run_trial(dataclasses.replace(spec), 3)
+        assert phase_totals()[1] == 2
+    finally:
+        reset_phase_totals()
+
+
+def test_executor_strips_phase_columns_from_cache(tmp_path):
+    """Wall-clock timings stay in in-memory rows but never in the
+    content-addressed cache (rows must be deterministic per (spec, seed))."""
+    from repro.simnet.engine import set_profile_default
+
+    spec = TrialSpec(
+        schedule="lowdiam_handoff", schedule_params={"n": 10, "T": 2},
+        nodes="exact_count", node_params={"n": 10},
+        max_rounds=1000, until="quiescent", quiescence_window=16)
+    reset_phase_totals()
+    set_profile_default(True)
+    try:
+        executor = ParallelExecutor(cache=str(tmp_path))
+        report = executor.run([(spec, 7)])
+        row = report.rows[0]
+        for name in PHASES:
+            assert f"phase.{name}_s" in row
+        cached = executor.cache.get(executor.cache.key(spec, 7))
+        assert cached is not None
+        assert not any(k.startswith("phase.") for k in cached)
+    finally:
+        set_profile_default(False)
+        reset_phase_totals()
+    # A later unprofiled run served from the same cache stays clean.
+    report2 = ParallelExecutor(cache=str(tmp_path)).run([(spec, 7)])
+    assert report2.cache_hits == 1
+    assert not any(k.startswith("phase.") for k in report2.rows[0])
