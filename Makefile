@@ -19,8 +19,9 @@ bench:           ## full-size: regenerates every table/figure into results/
 bench-quick:
 	REPRO_BENCH_QUICK=1 $(PY) -m pytest benchmarks/ --benchmark-only
 
-bench-smoke:     ## CI gate: fast-path speedup vs committed baseline
+bench-smoke:     ## CI gate: fast-path + batch-kernel speedups vs baselines
 	$(PY) benchmarks/bench_micro_substrate.py --smoke
+	$(PY) benchmarks/bench_kernels.py --smoke
 
 experiments:     ## same data via the CLI
 	$(PY) -m repro.harness.cli --all --out results/

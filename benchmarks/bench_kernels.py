@@ -1,0 +1,197 @@
+"""Batch-kernel tier throughput: kernel vs fast vs reference.
+
+The batch-kernel dispatch tier (see :mod:`repro.simnet.batch` and
+``docs/PERFORMANCE.md``) replaces the per-node Python fold with
+whole-population NumPy segment-reduces.  This benchmark measures
+rounds/sec of all three engine tiers on the T=4 overlap-handoff
+schedule with :class:`~repro.core.max_compute.SublinearMax` nodes
+(int payloads, segment-max delivery) at N ∈ {256, 1024, 4096} and
+writes ``results/BENCH_kernels.json``.
+
+Doubles as the second CI smoke gate::
+
+    python benchmarks/bench_kernels.py --smoke
+
+which gates two things against the committed
+``results/bench_kernels_baseline.json``:
+
+* per-N kernel/fast speedup ratios must stay within 25% of baseline
+  (ratios, not absolute timings — machine-portable);
+* the kernel tier must clear an **absolute 3x** over the per-node fast
+  path at N=1024 (the tentpole acceptance bar).
+
+``--write-baseline`` refreshes the committed baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # source checkout without `pip install -e .`
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import RngRegistry, Simulator
+from repro.core.max_compute import SublinearMax
+from repro.dynamics import OverlapHandoffAdversary
+
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "results"),
+)
+
+#: The three dispatch tiers, as (column label, engine argument).
+TIERS = (("kernel", "fast"),
+         ("fast", "fast-nobatch"),
+         ("reference", "reference"))
+
+#: Rounds timed per (tier, N) cell.  The reference loop at N=4096 is the
+#: pacing item; the smoke budget keeps one full gate run under ~60 s.
+FULL_ROUNDS = {256: 600, 1024: 200, 4096: 60}
+SMOKE_ROUNDS = {256: 240, 1024: 80, 4096: 24}
+
+
+def _measure_rounds_per_sec(engine: str, n: int, rounds: int,
+                            reps: int = 2) -> float:
+    """Best-of-*reps* rounds/sec of *engine* through ``Simulator.run``.
+
+    ``run()`` (not bare ``step()``) so the batch tier activates; the
+    SublinearMax population stabilises but never halts, so
+    ``until="halted"`` executes exactly *rounds* rounds per rep.
+    """
+    best = 0.0
+    for _ in range(reps):
+        sched = OverlapHandoffAdversary(n, 4, noise_edges=0, seed=0)
+        nodes = [SublinearMax(i, value=(i * 9176 + 37) % 100003)
+                 for i in range(n)]
+        sim = Simulator(sched, nodes, rng=RngRegistry(0), engine=engine)
+        start = perf_counter()
+        result = sim.run(max_rounds=rounds, until="halted",
+                         allow_timeout=True)
+        elapsed = perf_counter() - start
+        assert result.rounds == rounds
+        if engine == "fast" and sim._tier_rounds["batch"] != rounds:
+            raise AssertionError(
+                f"batch tier did not engage: {sim._tier_rounds}")
+        best = max(best, rounds / elapsed)
+    return best
+
+
+def kernel_comparison(ns=(256, 1024, 4096), rounds_by_n=None):
+    """Rounds/sec per tier per N, with kernel/fast and fast/reference."""
+    rounds_by_n = rounds_by_n or FULL_ROUNDS
+    rows = []
+    for n in ns:
+        rounds = rounds_by_n[n]
+        rates = {label: _measure_rounds_per_sec(engine, n, rounds)
+                 for label, engine in TIERS}
+        rows.append({
+            "n": n,
+            "rounds_timed": rounds,
+            "kernel_rounds_per_sec": round(rates["kernel"], 1),
+            "fast_rounds_per_sec": round(rates["fast"], 1),
+            "reference_rounds_per_sec": round(rates["reference"], 1),
+            "kernel_speedup": round(rates["kernel"] / rates["fast"], 3),
+            "fast_speedup": round(rates["fast"] / rates["reference"], 3),
+        })
+    return rows
+
+
+def _dump(rows, path, mode):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"bench": "batch_kernels", "mode": mode,
+                   "nodes": "sublinear_max", "schedule": "overlap_handoff_T4",
+                   "rows": rows}, fh, indent=2)
+        fh.write("\n")
+
+
+def _print_rows(rows):
+    for row in rows:
+        print(f"  N={row['n']}: kernel {row['kernel_rounds_per_sec']:.0f} "
+              f"r/s, fast {row['fast_rounds_per_sec']:.0f} r/s, reference "
+              f"{row['reference_rounds_per_sec']:.0f} r/s "
+              f"(kernel/fast {row['kernel_speedup']:.2f}x, "
+              f"fast/reference {row['fast_speedup']:.2f}x)")
+
+
+#: Acceptance bar: kernel tier over per-node fast path at this N.
+ABSOLUTE_BAR_N = 1024
+ABSOLUTE_BAR = 3.0
+
+
+def run_smoke(baseline_path=None, out_path=None,
+              max_regression: float = 0.25) -> int:
+    """Smoke-sized measurement, persisted and gated against the baseline.
+
+    Exit code 0 when (a) every N's kernel/fast ratio is within
+    *max_regression* of the committed baseline's and (b) the absolute
+    kernel/fast speedup at N=1024 clears the 3x acceptance bar.
+    """
+    baseline_path = baseline_path or os.path.join(
+        RESULTS_DIR, "bench_kernels_baseline.json")
+    out_path = out_path or os.path.join(RESULTS_DIR, "BENCH_kernels.json")
+    rows = kernel_comparison(rounds_by_n=SMOKE_ROUNDS)
+    _dump(rows, out_path, mode="smoke")
+    print(f"[bench-kernels] -> {out_path}")
+    _print_rows(rows)
+    failed = False
+    bar_row = next(r for r in rows if r["n"] == ABSOLUTE_BAR_N)
+    if bar_row["kernel_speedup"] < ABSOLUTE_BAR:
+        print(f"  N={ABSOLUTE_BAR_N}: kernel/fast "
+              f"{bar_row['kernel_speedup']:.2f}x is below the absolute "
+              f"{ABSOLUTE_BAR:.1f}x acceptance bar -> REGRESSED")
+        failed = True
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            baseline = {row["n"]: row for row in json.load(fh)["rows"]}
+        for row in rows:
+            base = baseline.get(row["n"])
+            if base is None:
+                continue
+            floor = (1.0 - max_regression) * base["kernel_speedup"]
+            ok = row["kernel_speedup"] >= floor
+            print(f"  N={row['n']}: kernel/fast {row['kernel_speedup']:.2f}x "
+                  f"vs baseline {base['kernel_speedup']:.2f}x "
+                  f"(floor {floor:.2f}x) -> {'ok' if ok else 'REGRESSED'}")
+            failed = failed or not ok
+    else:
+        print(f"[bench-kernels] no baseline at {baseline_path}; "
+              f"ratio gate skipped (absolute bar still enforced)")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batch-kernel tier benchmark / CI smoke gate")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smoke-sized run gated against the committed "
+                             "baseline (results/bench_kernels_baseline.json) "
+                             "and the absolute 3x bar at N=1024")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the smoke measurements as the new "
+                             "committed baseline instead of gating")
+    args = parser.parse_args(argv)
+    if args.write_baseline:
+        rows = kernel_comparison(rounds_by_n=SMOKE_ROUNDS)
+        baseline_path = os.path.join(RESULTS_DIR,
+                                     "bench_kernels_baseline.json")
+        _dump(rows, baseline_path, mode="smoke")
+        print(f"[bench-kernels] baseline -> {baseline_path}")
+        _print_rows(rows)
+        return 0
+    if args.smoke:
+        return run_smoke()
+    rows = kernel_comparison()
+    _dump(rows, os.path.join(RESULTS_DIR, "BENCH_kernels.json"), mode="full")
+    _print_rows(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

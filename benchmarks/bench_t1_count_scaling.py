@@ -1,7 +1,10 @@
 """Bench: regenerate T1 headline Count-scaling table (experiment t1 of DESIGN.md §3).
 
 Runs the harness experiment once under pytest-benchmark timing and
-persists the table/figure artefacts to `results/t1/`.
+persists the table/figure artefacts to `results/t1/`.  The full grid now
+tops out at N=512 (raised from 256 when the batch-kernel tier made the
+large cells affordable; KLO is still simulated only up to N=64 and
+extended by its exact closed-form prediction beyond).
 """
 
 from repro.harness.experiments import run_t1

@@ -22,6 +22,11 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from .._validate import require_positive_int
+from ..simnet.batch import (
+    FloodBroadcastBatchKernel,
+    FloodMaxBatchKernel,
+    FloodTokenBatchKernel,
+)
 from ..simnet.message import NodeId
 from ..simnet.node import Algorithm, RoundContext
 
@@ -58,6 +63,13 @@ class FloodToken(Algorithm):
             self.mark_changed(True)
         else:
             self.mark_changed(False)
+
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Boolean-OR reach batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not FloodToken:
+            return None
+        return FloodTokenBatchKernel.build(nodes)
 
 
 class FloodMax(Algorithm):
@@ -100,6 +112,13 @@ class FloodMax(Algorithm):
             self.decide(self.best)
             self.halt()
 
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Segment-max batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not FloodMax:
+            return None
+        return FloodMaxBatchKernel.build(nodes)
+
 
 class FloodBroadcast(Algorithm):
     """Known-bound broadcast of a payload from source nodes to everyone.
@@ -136,3 +155,10 @@ class FloodBroadcast(Algorithm):
         if ctx.round_index >= self.rounds_bound:
             self.decide(None if self.best is None else self.best[1])
             self.halt()
+
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Min-source-id reach batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not FloodBroadcast:
+            return None
+        return FloodBroadcastBatchKernel.build(nodes, id_bits)

@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from .._validate import require_positive_int
+from ..simnet.batch import MinVectorBatchKernel, aggregate_batch_kernel
 from .aggregation import (
     AggregateNode,
     KnownBoundAggregateNode,
@@ -96,6 +97,14 @@ class ApproxCount(AggregateNode):
     def extract_output(self, state: np.ndarray) -> float:
         return self.sketch.estimate(state)
 
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Min-vector batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not ApproxCount:
+            return None
+        return aggregate_batch_kernel(MinVectorBatchKernel.build, nodes,
+                                      known_bound=False)
+
 
 class ApproxCountKnownBound(KnownBoundAggregateNode):
     """Halting ``(1±ε)`` Count under a known bound ``D >= d``."""
@@ -116,3 +125,11 @@ class ApproxCountKnownBound(KnownBoundAggregateNode):
 
     def extract_output(self, state: np.ndarray) -> float:
         return self.sketch.estimate(state)
+
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Min-vector batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not ApproxCountKnownBound:
+            return None
+        return aggregate_batch_kernel(MinVectorBatchKernel.build, nodes,
+                                      known_bound=True)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..simnet.batch import IdSetBatchKernel, aggregate_batch_kernel
 from ..simnet.message import NodeId
 from .aggregation import (
     AggregateNode,
@@ -68,6 +69,16 @@ class ExactCount(AggregateNode):
     def extract_output(self, state: frozenset) -> int:
         return len(state)
 
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Bitset-union batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not ExactCount:
+            return None
+        return aggregate_batch_kernel(
+            lambda algs, controller, bound: IdSetBatchKernel.build(
+                algs, controller, bound, id_bits),
+            nodes, known_bound=False)
+
 
 class ExactCountKnownBound(KnownBoundAggregateNode):
     """Halting exact Count under a known dynamic-diameter bound ``D >= d``."""
@@ -82,3 +93,13 @@ class ExactCountKnownBound(KnownBoundAggregateNode):
 
     def extract_output(self, state: frozenset) -> int:
         return len(state)
+
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Bitset-union batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not ExactCountKnownBound:
+            return None
+        return aggregate_batch_kernel(
+            lambda algs, controller, bound: IdSetBatchKernel.build(
+                algs, controller, bound, id_bits),
+            nodes, known_bound=True)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..simnet.batch import MaxBatchKernel, aggregate_batch_kernel
 from .aggregation import AggregateNode, KnownBoundAggregateNode, MaxAggregate
 
 __all__ = ["SublinearMax", "MaxKnownBound"]
@@ -54,6 +55,14 @@ class SublinearMax(AggregateNode):
     def extract_output(self, state):
         return state
 
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Segment-max batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not SublinearMax:
+            return None
+        return aggregate_batch_kernel(MaxBatchKernel.build, nodes,
+                                      known_bound=False)
+
 
 class MaxKnownBound(KnownBoundAggregateNode):
     """Halting Max under a known dynamic-diameter bound ``D >= d``.
@@ -74,3 +83,11 @@ class MaxKnownBound(KnownBoundAggregateNode):
 
     def extract_output(self, state):
         return state
+
+    @classmethod
+    def __batch_kernel__(cls, nodes, id_bits: int = 32):
+        """Segment-max batch kernel (see :mod:`repro.simnet.batch`)."""
+        if cls is not MaxKnownBound:
+            return None
+        return aggregate_batch_kernel(MaxBatchKernel.build, nodes,
+                                      known_bound=True)

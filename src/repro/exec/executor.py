@@ -56,8 +56,9 @@ def execute_cell(spec: TrialSpec, seed: int) -> Dict[str, Any]:
 
 
 def _record_worker_phases(row: Dict[str, Any]) -> None:
-    """Fold a worker-executed row's ``phase.*`` timings into the parent
-    process's accumulator (worker-side accumulators die with the pool)."""
+    """Fold a worker-executed row's ``phase.*`` timings and ``engine.*``
+    tier counts into the parent process's accumulators (worker-side
+    accumulators die with the pool)."""
     phases = {key[len("phase."):-len("_s")]: value
               for key, value in row.items()
               if key.startswith("phase.") and key.endswith("_s")
@@ -66,6 +67,14 @@ def _record_worker_phases(row: Dict[str, Any]) -> None:
         from ..harness.runner import record_phase_seconds
 
         record_phase_seconds(phases)
+    tiers = {key[len("engine."):-len("_rounds")]: value
+             for key, value in row.items()
+             if key.startswith("engine.") and key.endswith("_rounds")
+             and isinstance(value, int)}
+    if tiers:
+        from ..harness.runner import record_engine_stats
+
+        record_engine_stats(tiers)
 
 
 def _pool_run_cell(payload: Cell) -> Tuple[str, Any]:
@@ -266,14 +275,16 @@ class ParallelExecutor:
                   cacheable: bool = True) -> None:
         for idx in by_key[key]:
             results[idx] = row
-        # Profiled trials carry wall-clock phase.* columns — not
-        # deterministic row data, so they stay in the in-memory rows but
-        # never enter the journal or the content-addressed cache (which
-        # promise identical rows for identical (spec, seed)).
+        # Profiled trials carry wall-clock phase.* columns and engine.*
+        # tier counts — not deterministic row data (the tier split is an
+        # implementation observable that may change across engine
+        # versions), so they stay in the in-memory rows but never enter
+        # the journal or the content-addressed cache (which promise
+        # identical rows for identical (spec, seed)).
         durable = row
-        if any(k.startswith("phase.") for k in row):
+        if any(k.startswith(("phase.", "engine.")) for k in row):
             durable = {k: v for k, v in row.items()
-                       if not k.startswith("phase.")}
+                       if not k.startswith(("phase.", "engine."))}
         self._journal(key, durable)
         if cacheable and self.cache is not None:
             self.cache.put(key, durable)

@@ -65,14 +65,22 @@ def _parser() -> argparse.ArgumentParser:
                              "kept under CACHE_DIR")
     parser.add_argument("--profile", action="store_true",
                         help="collect per-phase engine timings "
-                             "(compose/reveal/deliver/drain) and print "
-                             "an aggregate after each experiment")
+                             "(compose/reveal/deliver/drain) plus the "
+                             "per-tier dispatch counts (batch kernels / "
+                             "fast / reference) and print an aggregate "
+                             "after each experiment")
+    parser.add_argument("--engine", default=None,
+                        choices=("fast", "fast-nobatch", "reference"),
+                        help="engine for every simulator the experiments "
+                             "construct (default: fast, with batch-kernel "
+                             "dispatch; all choices produce identical "
+                             "results)")
     return parser
 
 
 def _render_profile() -> str:
     """One-line summary of the process-wide per-phase timing totals."""
-    from .runner import phase_totals
+    from .runner import engine_totals, phase_totals
 
     totals, trials = phase_totals()
     if trials == 0:
@@ -82,7 +90,13 @@ def _render_profile() -> str:
     parts = ", ".join(
         f"{name} {value:.3f}s ({100 * value / grand:.0f}%)"
         for name, value in sorted(totals.items()))
-    return f"[profile] {trials} trials: {parts}"
+    line = f"[profile] {trials} trials: {parts}"
+    tiers = engine_totals()
+    if tiers:
+        tier_parts = ", ".join(
+            f"{tier} {rounds}" for tier, rounds in sorted(tiers.items()))
+        line += f"\n[profile] engine rounds by tier: {tier_parts}"
+    return line
 
 
 def _exec_options(args: argparse.Namespace) -> Optional[ExecOptions]:
@@ -132,6 +146,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..simnet.engine import set_profile_default
 
         set_profile_default(True)
+    if args.engine:
+        from ..simnet.engine import set_engine_default
+
+        set_engine_default(args.engine)
     exec_opts = _exec_options(args)
 
     # T1 feeds F1 and F5; share its rows when several are requested.

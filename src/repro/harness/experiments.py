@@ -236,7 +236,9 @@ def run_t1(quick: bool = False, *,
     the result cache, and resume; ``None`` runs serially.
     """
     T = 2
-    ns = [8, 16, 32] if quick else [16, 32, 64, 128, 256]
+    # Top N raised from 256 once the batch-kernel tier made the N=512
+    # cells affordable (see docs/PERFORMANCE.md, "Batch kernels").
+    ns = [8, 16, 32] if quick else [16, 32, 64, 128, 256, 512]
     klo_cap = 16 if quick else 64
     seeds = [1] if quick else [1, 2, 3]
     algos = _count_specs(T)

@@ -26,7 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..exec.specs import TrialSpec
 
 __all__ = ["TrialConfig", "TrialResult", "run_trial", "run_replicates",
-           "record_phase_seconds", "phase_totals", "reset_phase_totals"]
+           "record_phase_seconds", "phase_totals", "reset_phase_totals",
+           "record_engine_stats", "engine_totals", "reset_engine_totals"]
 
 # Process-wide accumulation of per-phase engine timings (profiled runs
 # only).  Every profiled trial executed in this process feeds it via
@@ -59,6 +60,31 @@ def reset_phase_totals() -> None:
     global _PHASE_TRIALS
     _PHASE_TOTALS.clear()
     _PHASE_TRIALS = 0
+
+
+# Same pattern for the engine's per-tier round counts (batch kernels /
+# per-node fast path / reference loops): profiled trials report them via
+# RunMetrics.engine_stats, the CLI renders the dispatch split so a
+# "kernels are engaging" sanity check is one --profile run away.
+_ENGINE_TOTALS: Dict[str, int] = {}
+
+
+def record_engine_stats(engine_stats: Optional[Mapping[str, int]]) -> None:
+    """Add one profiled trial's per-tier round counts to process totals."""
+    if not engine_stats:
+        return
+    for tier, rounds in engine_stats.items():
+        _ENGINE_TOTALS[tier] = _ENGINE_TOTALS.get(tier, 0) + int(rounds)
+
+
+def engine_totals() -> Dict[str, int]:
+    """Accumulated rounds executed per engine dispatch tier."""
+    return dict(_ENGINE_TOTALS)
+
+
+def reset_engine_totals() -> None:
+    """Clear the process-wide engine-tier accumulator."""
+    _ENGINE_TOTALS.clear()
 
 
 ScheduleFactory = Callable[[int], object]         # seed -> schedule
@@ -94,8 +120,13 @@ class TrialConfig:
         Forward to the engine; timeouts then yield ``stop_reason ==
         "max_rounds"`` instead of raising.
     engine:
-        Engine selection forwarded to :class:`Simulator` (``"fast"`` or
-        ``"reference"``; both produce identical results).
+        Engine selection forwarded to :class:`Simulator` (``"fast"``,
+        ``"fast-nobatch"``, or ``"reference"``; all produce identical
+        results).  ``None`` defers to the process-wide default (set by
+        the CLI's ``--engine`` flag or ``REPRO_ENGINE``).
+    batch_kernels:
+        Forwarded to :class:`Simulator`; ``None`` keeps batch-kernel
+        dispatch on under ``engine="fast"``.
     profile:
         Per-phase wall-clock profiling; ``None`` defers to the
         process-wide default (set by the CLI's ``--profile`` flag).
@@ -110,7 +141,8 @@ class TrialConfig:
     oracle: Optional[Oracle] = None
     bandwidth_bits: Optional[int] = None
     allow_timeout: bool = False
-    engine: str = "fast"
+    engine: Optional[str] = None
+    batch_kernels: Optional[bool] = None
     profile: Optional[bool] = None
 
 
@@ -130,6 +162,7 @@ class TrialResult:
     outputs_sample: Any
     counters: Dict[str, int]
     phase_seconds: Optional[Dict[str, float]] = None
+    engine_stats: Optional[Dict[str, int]] = None
 
     def as_row(self, **extra: Any) -> Dict[str, Any]:
         """Flatten to a results row, merging experiment parameters."""
@@ -146,6 +179,9 @@ class TrialResult:
         if self.phase_seconds is not None:
             for name, seconds in sorted(self.phase_seconds.items()):
                 row[f"phase.{name}_s"] = seconds
+        if self.engine_stats is not None:
+            for tier, rounds in sorted(self.engine_stats.items()):
+                row[f"engine.{tier}_rounds"] = rounds
         row.update(extra)
         return row
 
@@ -167,6 +203,7 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
         bandwidth_bits=config.bandwidth_bits,
         engine=config.engine,
         profile=config.profile,
+        batch_kernels=config.batch_kernels,
     )
     result: RunResult = sim.run(
         max_rounds=config.max_rounds,
@@ -180,6 +217,7 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
         correct = bool(config.oracle(result.outputs, schedule))
     sample = next(iter(result.outputs.values()), None)
     record_phase_seconds(result.metrics.phase_seconds)
+    record_engine_stats(result.metrics.engine_stats)
     return TrialResult(
         seed=seed,
         rounds=result.rounds,
@@ -194,6 +232,8 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
         counters=dict(result.metrics.counters),
         phase_seconds=(dict(result.metrics.phase_seconds)
                        if result.metrics.phase_seconds is not None else None),
+        engine_stats=(dict(result.metrics.engine_stats)
+                      if result.metrics.engine_stats is not None else None),
     )
 
 

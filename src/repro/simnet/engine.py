@@ -30,18 +30,27 @@ Stop conditions
 
 Engines
 -------
-Two step implementations produce **identical** :class:`RunResult`\\ s
+Three dispatch tiers produce **identical** :class:`RunResult`\\ s
 (golden-equivalence tested across topologies × algorithms × loss rates):
 
+* **batch kernels** — when every node is an instance of one algorithm
+  class exposing the ``__batch_kernel__`` hook (see
+  :mod:`repro.simnet.batch`), :meth:`Simulator.run` executes whole
+  rounds as NumPy segment-reduces over the CSR adjacency, with
+  decisions/halts/metrics reconciled from the arrays.  Engaged only
+  under ``engine="fast"`` and only for observable-free runs (no trace,
+  no loss, no strict bandwidth, no ``stop_when`` predicate, no adaptive
+  schedule); anything else falls through to the next tier.
 * ``engine="fast"`` (default) — consumes the schedule's interval-aware
   CSR adjacency (see :meth:`repro.dynamics.GraphSchedule.adjacency`),
   tracks the non-halted *active set* incrementally so per-round work is
   ``O(active)``, reuses one :class:`RoundContext` per node, and computes
   live degrees vectorised over the CSR.  Schedules that expose only the
   minimal :class:`ScheduleLike` duck type (no ``adjacency``) fall back
-  to the reference engine transparently.
+  to the reference engine transparently.  ``engine="fast-nobatch"``
+  selects this tier while disabling the batch-kernel dispatch.
 * ``engine="reference"`` — the straightforward per-node loops, kept as
-  the executable specification the fast path is tested against.
+  the executable specification the other tiers are tested against.
 
 Profiling
 ---------
@@ -65,6 +74,7 @@ import numpy as np
 
 from .._validate import require_choice, require_positive_int
 from ..errors import BandwidthExceededError, ConfigurationError, NotTerminatedError
+from .batch import BatchContext, build_batch_kernel
 from .message import bit_size
 from .metrics import MetricsCollector, RunMetrics
 from .node import Algorithm, RoundContext
@@ -72,12 +82,37 @@ from .rng import RngRegistry
 from .trace import TraceEvent, TraceRecorder
 
 __all__ = ["Simulator", "RunResult", "ScheduleLike",
-           "set_profile_default", "profile_default"]
+           "set_profile_default", "profile_default",
+           "set_engine_default", "engine_default"]
 
 #: Phase names of the per-round profiling breakdown, in execution order.
 PHASES = ("compose", "reveal", "deliver", "drain")
 
+#: Engine dispatch tiers, in preference order.
+ENGINE_TIERS = ("batch", "fast", "reference")
+
+_ENGINE_CHOICES = ("fast", "fast-nobatch", "reference")
+
 _PROFILE_DEFAULT = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+_ENGINE_DEFAULT = os.environ.get("REPRO_ENGINE", "") or "fast"
+
+
+def set_engine_default(engine: str) -> None:
+    """Set the process-wide default for ``Simulator(engine=None)``.
+
+    The harness CLI's ``--engine`` flag calls this before running
+    experiments (same pattern as :func:`set_profile_default`); the
+    ``REPRO_ENGINE`` environment variable seeds the initial value.
+    """
+    global _ENGINE_DEFAULT
+    require_choice(engine, "engine", _ENGINE_CHOICES)
+    _ENGINE_DEFAULT = engine
+
+
+def engine_default() -> str:
+    """Current process-wide engine default."""
+    return _ENGINE_DEFAULT
 
 
 def set_profile_default(enabled: bool) -> None:
@@ -178,9 +213,16 @@ class Simulator:
         the stabilizing core remains eventually correct as long as
         information keeps flowing.
     engine:
-        ``"fast"`` (default) or ``"reference"``; see the module
-        docstring.  Both produce identical results — ``"reference"``
-        exists as the executable specification and for debugging.
+        ``"fast"``, ``"fast-nobatch"``, or ``"reference"``; see the
+        module docstring.  All produce identical results —
+        ``"reference"`` exists as the executable specification and for
+        debugging, ``"fast-nobatch"`` is the fast path with batch-kernel
+        dispatch disabled.  ``None`` (default) resolves to
+        :func:`engine_default`.
+    batch_kernels:
+        Whether :meth:`run` may dispatch to an algorithm's batch kernel
+        (see :mod:`repro.simnet.batch`).  ``None`` (default) resolves to
+        on; ``engine="fast-nobatch"`` forces it off.
     profile:
         Collect per-phase wall-clock totals (see the module docstring).
         ``None`` (default) resolves to :func:`profile_default`.
@@ -196,8 +238,9 @@ class Simulator:
         id_bits: int = 32,
         trace: Optional[TraceRecorder] = None,
         loss_rate: float = 0.0,
-        engine: str = "fast",
+        engine: Optional[str] = None,
         profile: Optional[bool] = None,
+        batch_kernels: Optional[bool] = None,
     ) -> None:
         if len(nodes) != schedule.num_nodes:
             raise ConfigurationError(
@@ -209,7 +252,14 @@ class Simulator:
             raise ConfigurationError("node ids must be distinct")
         if bandwidth_bits is not None:
             require_positive_int(bandwidth_bits, "bandwidth_bits")
-        require_choice(engine, "engine", ("fast", "reference"))
+        if engine is None:
+            engine = _ENGINE_DEFAULT
+        require_choice(engine, "engine", _ENGINE_CHOICES)
+        if engine == "fast-nobatch":
+            engine = "fast"
+            batch_kernels = False
+        if batch_kernels is None:
+            batch_kernels = True
         self.schedule = schedule
         self.nodes: List[Algorithm] = list(nodes)
         self.rng = rng if rng is not None else RngRegistry(0)
@@ -263,6 +313,28 @@ class Simulator:
         bind = getattr(schedule, "bind", None)
         if bind is not None:
             bind(self.nodes)
+        # Batch-kernel dispatch: statically eligible only when nothing can
+        # observe per-node phase internals the kernels do not reproduce —
+        # trace events, per-delivery loss draws (the shared loss stream is
+        # consumed in inbox order), mid-phase strict-bandwidth raises, and
+        # adaptive schedules that read node state between phases.  The
+        # remaining (per-run) conditions are checked in
+        # _maybe_activate_batch when run() starts.
+        self.batch_kernels = bool(batch_kernels)
+        self._batch_enabled = (
+            self.engine == "fast"
+            and self.batch_kernels
+            and trace is None
+            and self.loss_rate == 0.0
+            and not (self.strict_bandwidth and bandwidth_bits is not None)
+            and bind is None)
+        self._batch_live = False
+        self._batch_kernel: Optional[Any] = None
+        self._batch_ctx: Optional[BatchContext] = None
+        self._batch_pending: Optional[List[Tuple[int, List[tuple]]]] = None
+        #: Rounds executed per dispatch tier (surfaced via
+        #: RunMetrics.engine_stats when profiling).
+        self._tier_rounds: Dict[str, int] = {tier: 0 for tier in ENGINE_TIERS}
 
     # -- payload costing -----------------------------------------------------
 
@@ -289,9 +361,14 @@ class Simulator:
 
     def step(self) -> None:
         """Execute exactly one round."""
-        if self.engine == "fast":
+        if self._batch_live:
+            self._tier_rounds["batch"] += 1
+            self._step_batch()
+        elif self.engine == "fast":
+            self._tier_rounds["fast"] += 1
             self._step_fast()
         else:
+            self._tier_rounds["reference"] += 1
             self._step_reference()
 
     def _step_reference(self) -> None:
@@ -685,6 +762,166 @@ class Simulator:
         )
         metrics.on_round_executed()
 
+    # -- batch-kernel tier ----------------------------------------------------
+
+    def _maybe_activate_batch(self, stop_when: Optional[Callable]) -> None:
+        """Enter batch mode for this run() if the population is eligible.
+
+        On top of the static ``_batch_enabled`` conditions: no user
+        predicate may inspect node state mid-run, ``on_broadcast`` must
+        not be overridden on the collector instance (the batch step
+        accumulates broadcast sums directly), and no node may have halted
+        (the kernels assume the all-alive steady state — the first halt
+        event deactivates back to the per-node path).  Pending decision
+        events (e.g. a ``FloodToken`` seed deciding in ``__init__``) are
+        captured here and replayed into metrics in the first batch step,
+        exactly when the per-node drain would surface them.
+        """
+        if (not self._batch_enabled
+                or stop_when is not None
+                or self._any_halted
+                or "on_broadcast" in self.metrics.__dict__):
+            return
+        kernel = build_batch_kernel(self.nodes, self.id_bits)
+        if kernel is None:
+            return
+        pending: List[Tuple[int, List[tuple]]] = []
+        for i, node in enumerate(self.nodes):
+            if node._events:
+                pending.append((i, node._events))
+                node._events = []
+        self._batch_kernel = kernel
+        self._batch_pending = pending
+        self._batch_ctx = BatchContext(
+            self.round_index, self._node_rngs, self.metrics.incr)
+        self._batch_live = True
+
+    def _deactivate_batch(self) -> None:
+        """Leave batch mode, restoring full per-node state (idempotent)."""
+        if not self._batch_live:
+            return
+        self._batch_live = False
+        kernel = self._batch_kernel
+        self._batch_kernel = None
+        self._batch_ctx = None
+        pending = self._batch_pending
+        self._batch_pending = None
+        if pending:
+            # Never replayed (zero batch rounds ran): hand the events
+            # back to the per-node drain.
+            for i, events in pending:
+                node = self.nodes[i]
+                node._events = events + node._events
+        kernel.finalize(self.nodes)
+
+    def _step_batch(self) -> None:
+        """One round via the population's batch kernel.
+
+        Equivalent to :meth:`_step_fast` observable-for-observable for
+        eligible runs: identical metrics (broadcast sums are commutative
+        and per-round; decision/counter dicts are order-insensitive),
+        identical per-node RNG consumption (kernels draw from each
+        node's private stream in ascending node order, and streams are
+        independent across nodes), and no trace/loss/strict-bandwidth
+        observables by eligibility.
+        """
+        self.round_index += 1
+        r = self.round_index
+        kernel = self._batch_kernel
+        ctx = self._batch_ctx
+        ctx.round_index = r
+        metrics = self.metrics
+        prof = self._phase_seconds
+
+        # Phase 1: compose.
+        t0 = perf_counter() if prof is not None else 0.0
+        mask, bits = kernel.compose(ctx)
+
+        # Phase 2: reveal + transmission accounting (vectorised).
+        if prof is not None:
+            t1 = perf_counter()
+            prof["compose"] += t1 - t0
+            t0 = t1
+        csr = self.schedule.adjacency(r)
+        degrees = csr.degrees()
+        if mask is None:
+            n_bcast = len(self.nodes)
+            sender_bits = bits
+            sender_degrees = degrees
+        else:
+            n_bcast = int(mask.sum())
+            sender_bits = bits[mask]
+            sender_degrees = degrees[mask]
+        if n_bcast:
+            metrics.broadcasts += n_bcast
+            metrics.delivered_messages += int(sender_degrees.sum())
+            metrics.broadcast_bits += int(sender_bits.sum())
+            metrics.delivered_bits += int(sender_bits @ sender_degrees)
+            max_bits = int(sender_bits.max())
+            if max_bits > metrics.max_broadcast_bits:
+                metrics.max_broadcast_bits = max_bits
+            bandwidth_bits = self.bandwidth_bits
+            if bandwidth_bits is not None:
+                over = int((sender_bits > bandwidth_bits).sum())
+                if over:
+                    metrics.incr("bandwidth_overflows", over)
+
+        # Phase 3: deliver (one segment-reduce over the CSR).
+        if prof is not None:
+            t1 = perf_counter()
+            prof["reveal"] += t1 - t0
+            t0 = t1
+        changed_any, events = kernel.deliver(ctx, csr, mask)
+
+        # Phase 4: drain — replay captured pre-run events, then reconcile
+        # this round's decide/retract/halt events onto the node objects.
+        if prof is not None:
+            t1 = perf_counter()
+            prof["deliver"] += t1 - t0
+            t0 = t1
+        nodes = self.nodes
+        pending = self._batch_pending
+        if pending:
+            self._batch_pending = None
+            for i, node_events in pending:
+                node_id = nodes[i].node_id
+                for event in node_events:
+                    kind = event[0]
+                    if kind == "decide":
+                        metrics.on_decision(node_id, r)
+                    elif kind == "retract":
+                        metrics.on_retraction(node_id)
+        halted_any = False
+        halted_mask = self._halted_mask
+        for kind, i, value in events:
+            node = nodes[i]
+            if kind == "decide":
+                node._decided = True
+                node._output = value
+                metrics.on_decision(node.node_id, r)
+            elif kind == "retract":
+                node._decided = False
+                node._output = None
+                metrics.on_retraction(node.node_id)
+            else:  # halt
+                node._halted = True
+                halted_mask[i] = True
+                halted_any = True
+        if prof is not None:
+            prof["drain"] += perf_counter() - t0
+
+        if halted_any:
+            self._any_halted = True
+            self._active = [
+                i for i in self._active if not halted_mask[i]]
+            # The kernels assume every node is alive; fall back to the
+            # per-node fast path for whatever rounds remain.
+            self._deactivate_batch()
+
+        self._quiescent_streak = (
+            0 if changed_any else self._quiescent_streak + 1)
+        metrics.on_round_executed()
+
     # -- stop-condition helpers ----------------------------------------------
 
     def _all_halted(self) -> bool:
@@ -693,6 +930,8 @@ class Simulator:
         return all(node.halted for node in self.nodes)
 
     def _all_decided_or_halted(self) -> bool:
+        if self._batch_live:
+            return bool(self._batch_kernel.decided.all())
         if self.engine == "fast":
             nodes = self.nodes
             return all(nodes[i]._decided for i in self._active)
@@ -717,24 +956,31 @@ class Simulator:
         require_positive_int(quiescence_window, "quiescence_window")
 
         stop_reason = "max_rounds"
-        while self.round_index < max_rounds:
-            self.step()
-            if stop_when is not None and stop_when(self):
-                stop_reason = "predicate"
-                break
-            if until == "halted":
-                if self._all_halted():
-                    stop_reason = "halted"
+        self._maybe_activate_batch(stop_when)
+        try:
+            while self.round_index < max_rounds:
+                self.step()
+                if stop_when is not None and stop_when(self):
+                    stop_reason = "predicate"
                     break
-            elif until == "decided":
-                if self._all_decided_or_halted():
-                    stop_reason = "decided"
-                    break
-            else:  # quiescent
-                if (self._quiescent_streak >= quiescence_window
-                        and self._all_decided_or_halted()):
-                    stop_reason = "quiescent"
-                    break
+                if until == "halted":
+                    if self._all_halted():
+                        stop_reason = "halted"
+                        break
+                elif until == "decided":
+                    if self._all_decided_or_halted():
+                        stop_reason = "decided"
+                        break
+                else:  # quiescent
+                    if (self._quiescent_streak >= quiescence_window
+                            and self._all_decided_or_halted()):
+                        stop_reason = "quiescent"
+                        break
+        finally:
+            # Whatever happens, node objects must reflect the kernel's
+            # state before anyone (including the error path below, or a
+            # later run() call) inspects them.
+            self._deactivate_batch()
 
         if stop_reason == "max_rounds" and not allow_timeout:
             undecided = tuple(
@@ -753,8 +999,10 @@ class Simulator:
         phase_seconds = (
             dict(self._phase_seconds) if self._phase_seconds is not None
             else None)
+        engine_stats = dict(self._tier_rounds) if self.profile else None
         return RunResult(
-            metrics=self.metrics.snapshot(phase_seconds=phase_seconds),
+            metrics=self.metrics.snapshot(phase_seconds=phase_seconds,
+                                          engine_stats=engine_stats),
             outputs=outputs,
             rounds=self.round_index,
             stop_reason=stop_reason,

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 __all__ = ["bit_size", "NodeId"]
 
 _CONTAINER_FRAMING_BITS = 8
@@ -68,6 +70,17 @@ def bit_size(obj: Any, id_bits: int = 32) -> int:
     if isinstance(obj, int):
         return max(1, obj.bit_length()) + 1
     if isinstance(obj, float):
+        return 64
+    # NumPy scalars cost the same as the Python value they box, so batch
+    # kernels that leak an np.int64/np.float32 into a payload (or into
+    # node state later re-encoded) charge identical bits to the per-node
+    # tiers.  np.float64 is a float subclass and is caught above; np.bool_
+    # and the integer scalars are not subclasses of their Python kin.
+    if isinstance(obj, np.bool_):
+        return 1
+    if isinstance(obj, np.integer):
+        return max(1, int(obj).bit_length()) + 1
+    if isinstance(obj, np.floating):
         return 64
     if isinstance(obj, (bytes, bytearray)):
         return 8 * len(obj) + _CONTAINER_FRAMING_BITS

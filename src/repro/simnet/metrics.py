@@ -53,6 +53,11 @@ class RunMetrics:
         ``deliver`` / ``drain``), present only when the run was profiled
         (``Simulator(profile=True)`` or the harness ``--profile`` flag);
         ``None`` otherwise so unprofiled results stay byte-comparable.
+    engine_stats:
+        Rounds executed per engine dispatch tier (``batch`` / ``fast`` /
+        ``reference``), present only when the run was profiled; ``None``
+        otherwise for the same byte-comparability reason — the tier split
+        is an implementation observable, not result data.
     """
 
     rounds: int
@@ -65,6 +70,7 @@ class RunMetrics:
     decision_rounds: Mapping[int, int]
     counters: Mapping[str, int]
     phase_seconds: Optional[Mapping[str, float]] = None
+    engine_stats: Optional[Mapping[str, int]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Flatten to a plain dict (for CSV/JSON export by the harness)."""
@@ -82,6 +88,9 @@ class RunMetrics:
         if self.phase_seconds is not None:
             for name, seconds in sorted(self.phase_seconds.items()):
                 out[f"phase.{name}_s"] = seconds
+        if self.engine_stats is not None:
+            for name, rounds in sorted(self.engine_stats.items()):
+                out[f"engine.{name}_rounds"] = rounds
         return out
 
 
@@ -136,11 +145,13 @@ class MetricsCollector:
         return tuple(sorted(self._decision_rounds))
 
     def snapshot(self,
-                 phase_seconds: Optional[Dict[str, float]] = None) -> RunMetrics:
+                 phase_seconds: Optional[Dict[str, float]] = None,
+                 engine_stats: Optional[Dict[str, int]] = None) -> RunMetrics:
         """Freeze the current totals into a :class:`RunMetrics`.
 
-        *phase_seconds*, when given, carries the engine's per-phase
-        profiling totals into the frozen record.
+        *phase_seconds* and *engine_stats*, when given, carry the
+        engine's per-phase profiling totals and per-tier round counts
+        into the frozen record.
         """
         rounds = self._decision_rounds.values()
         return RunMetrics(
@@ -154,4 +165,5 @@ class MetricsCollector:
             decision_rounds=dict(self._decision_rounds),
             counters=dict(self._counters),
             phase_seconds=phase_seconds,
+            engine_stats=engine_stats,
         )

@@ -1,0 +1,326 @@
+"""Property tests for the batch-kernel tier (:mod:`repro.simnet.batch`).
+
+Three layers of evidence, in increasing integration order:
+
+1. **Numeric helpers** — `int_payload_bits` / `segment_reduce` /
+   `segment_counts` against their scalar Python definitions (Hypothesis
+   where the domain is a plain value space, seeded random otherwise).
+2. **BatchQuiescence** — the vectorised decide/retract state machine
+   against a population of per-node
+   :class:`~repro.core.termination.QuiescenceController` replicas driven
+   by the same random change sequences.
+3. **Kernel vs per-node fold** — every registered ``deliver_batch``
+   kernel against the per-node ``deliver`` fold, driven through the
+   engine on seeded-random explicit schedules that deliberately include
+   empty rounds (every inbox empty) and isolated nodes (some inboxes
+   empty); the batch tier must both *engage* and match bit-for-bit.
+
+Also here: the numpy-scalar `bit_size` regression tests (kernels hand
+``np.int64`` payloads to the accounting layer, which must cost them like
+the equal Python ``int``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.flooding import FloodBroadcast, FloodMax, FloodToken
+from repro.core.approx_count import ApproxCount, ApproxCountKnownBound
+from repro.core.exact_count import ExactCount, ExactCountKnownBound
+from repro.core.max_compute import MaxKnownBound, SublinearMax
+from repro.core.termination import QuiescenceController
+from repro.dynamics import ExplicitSchedule
+from repro.simnet import RngRegistry, Simulator
+from repro.simnet.batch import (
+    BatchQuiescence,
+    build_batch_kernel,
+    int_payload_bits,
+    popcount64,
+    segment_counts,
+    segment_reduce,
+)
+from repro.simnet.message import bit_size
+
+
+# --------------------------------------------------------------------------
+# numeric helpers
+# --------------------------------------------------------------------------
+
+BOUND = 2 ** 62 - 1  # kernel int-eligibility range: |v| < 2**62
+
+
+@given(st.lists(st.integers(min_value=-BOUND, max_value=BOUND),
+                min_size=1, max_size=64))
+def test_int_payload_bits_matches_bit_size(values):
+    got = int_payload_bits(np.array(values, dtype=np.int64))
+    expected = [bit_size(v) for v in values]
+    assert got.tolist() == expected
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+def test_popcount64_matches_python_bit_count(value):
+    got = popcount64(np.array([value], dtype=np.uint64))
+    assert got.tolist() == [bin(value).count("1")]
+
+
+def _random_csr(rng, n, max_degree=4):
+    """Random receiver-grouped CSR (indptr, indices) with empty segments."""
+    degrees = rng.integers(0, max_degree + 1, size=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = rng.integers(0, n, size=int(indptr[-1])).astype(np.int64)
+    return indptr, indices
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("ufunc", [np.maximum, np.minimum, np.bitwise_or])
+def test_segment_reduce_matches_naive_fold(seed, ufunc):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 20))
+    indptr, indices = _random_csr(rng, n)
+    own = rng.integers(0, 1000, size=n).astype(np.int64)
+    data = own[indices]  # message rows in receiver-grouped order
+
+    expected = own.copy()
+    for j in range(n):
+        seg = data[indptr[j]:indptr[j + 1]]
+        for row in seg:  # empty segment: receiver keeps its own state
+            expected[j] = ufunc(expected[j], row)
+
+    got = segment_reduce(ufunc, data, indptr, own.copy())
+    assert got.tolist() == expected.tolist()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_segment_reduce_matches_naive_fold_2d(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 16))
+    width = int(rng.integers(1, 5))
+    indptr, indices = _random_csr(rng, n)
+    own = rng.random((n, width))
+    data = own[indices]
+
+    expected = own.copy()
+    for j in range(n):
+        for row in data[indptr[j]:indptr[j + 1]]:
+            expected[j] = np.minimum(expected[j], row)
+
+    got = segment_reduce(np.minimum, data, indptr, own.copy())
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_segment_counts_matches_naive_sum(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 20))
+    indptr, indices = _random_csr(rng, n)
+    values = rng.integers(0, 5, size=n).astype(np.int64)
+    expected = [int(values[indices[indptr[j]:indptr[j + 1]]].sum())
+                for j in range(n)]
+    got = segment_counts(values, indptr, indices)
+    assert got.tolist() == expected
+
+
+# --------------------------------------------------------------------------
+# numpy-scalar payload accounting (regression: kernels produce np.int64)
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [0, 1, -1, 5, -937, 2 ** 40, -(2 ** 40)])
+def test_bit_size_numpy_int_matches_python_int(value):
+    assert bit_size(np.int64(value)) == bit_size(value)
+    if abs(value) < 2 ** 31:
+        assert bit_size(np.int32(value)) == bit_size(value)
+
+
+def test_bit_size_numpy_bool_and_float():
+    assert bit_size(np.bool_(True)) == bit_size(True) == 1
+    assert bit_size(np.bool_(False)) == bit_size(False) == 1
+    assert bit_size(np.float64(3.25)) == bit_size(3.25) == 64
+    assert bit_size(np.float32(3.25)) == 64
+
+
+# --------------------------------------------------------------------------
+# BatchQuiescence vs per-node QuiescenceController
+# --------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=6),      # population size
+       st.integers(min_value=1, max_value=4),      # initial window
+       st.sampled_from([2, 3, 4]),                 # growth
+       st.integers(min_value=0, max_value=2 ** 31 - 1))  # change-seq seed
+@settings(max_examples=60, deadline=None)
+def test_batch_quiescence_matches_controllers(n, window, growth, seq_seed):
+    controllers = [QuiescenceController(window, growth) for _ in range(n)]
+    batch = BatchQuiescence.from_controllers(controllers)
+    assert batch is not None
+    rng = np.random.default_rng(seq_seed)
+    for _ in range(40):
+        changed = rng.random(n) < 0.4
+        decide, retract = batch.observe(changed)
+        for i, ctl in enumerate(controllers):
+            verdict = ctl.observe(bool(changed[i]))
+            assert bool(decide[i]) == (verdict == "decide")
+            assert bool(retract[i]) == (verdict == "retract")
+    # restore() must write the final scalar state back verbatim.
+    replicas = [QuiescenceController(window, growth) for _ in range(n)]
+    batch.restore(replicas)
+    for ctl, rep in zip(controllers, replicas):
+        assert (rep.window, rep.quiet_streak, rep.holding,
+                rep.retraction_count) == (ctl.window, ctl.quiet_streak,
+                                          ctl.holding, ctl.retraction_count)
+
+
+def test_batch_quiescence_rejects_mixed_growth():
+    controllers = [QuiescenceController(1, 2), QuiescenceController(1, 4)]
+    assert BatchQuiescence.from_controllers(controllers) is None
+
+
+# --------------------------------------------------------------------------
+# kernel deliver vs per-node deliver fold (engine-driven property test)
+# --------------------------------------------------------------------------
+
+def _random_rounds(seed, n, horizon=12):
+    """Seeded-random per-round edge lists with adversarial edge cases:
+    at least one fully empty round (every inbox empty) and rounds where
+    node 0 is isolated (its inbox empty while others fold messages)."""
+    rng = np.random.default_rng(seed)
+    rounds = []
+    for r in range(horizon):
+        if r % 5 == 1:
+            rounds.append([])  # empty graph: all inboxes empty
+            continue
+        lo = 1 if r % 3 == 0 else 0  # r%3==0: node 0 isolated
+        count = int(rng.integers(1, 2 * n))
+        edges = set()
+        for _ in range(count):
+            u = int(rng.integers(lo, n))
+            v = int(rng.integers(lo, n))
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        rounds.append(sorted(edges))
+    return rounds
+
+
+BOUND_ROUNDS = 30
+
+KERNEL_POPULATIONS = [
+    ("sublinear_max", lambda n: [
+        SublinearMax(i, value=(i * 7919) % 65537) for i in range(n)]),
+    ("max_known_bound", lambda n: [
+        MaxKnownBound(i, value=(i * 7919) % 65537, rounds_bound=BOUND_ROUNDS)
+        for i in range(n)]),
+    ("exact_count", lambda n: [ExactCount(i) for i in range(n)]),
+    ("exact_count_known_bound", lambda n: [
+        ExactCountKnownBound(i, BOUND_ROUNDS) for i in range(n)]),
+    ("approx_count", lambda n: [
+        ApproxCount(i, width=8) for i in range(n)]),
+    ("approx_count_known_bound", lambda n: [
+        ApproxCountKnownBound(i, BOUND_ROUNDS, width=8) for i in range(n)]),
+    ("flood_token", lambda n: [
+        FloodToken(i, informed=(i == 0)) for i in range(n)]),
+    ("flood_max", lambda n: [
+        FloodMax(i, value=(i * 104729) % 9973, rounds_bound=BOUND_ROUNDS)
+        for i in range(n)]),
+    ("flood_broadcast", lambda n: [
+        FloodBroadcast(i, rounds_bound=BOUND_ROUNDS,
+                       payload=("tok", i) if i < 2 else None)
+        for i in range(n)]),
+]
+
+
+def _run(label, factory, seed, engine):
+    n = 10
+    schedule = ExplicitSchedule(n, _random_rounds(seed, n), cycle=True,
+                                interval=None)
+    nodes = factory(n)
+    sim = Simulator(schedule, nodes, rng=RngRegistry(seed), engine=engine)
+    until = ("halted" if "known_bound" in label or label.startswith("flood_")
+             else "quiescent")
+    if label == "flood_token":
+        until = "decided"
+    result = sim.run(max_rounds=120, until=until, quiescence_window=8,
+                     allow_timeout=True)
+    return sim, result
+
+
+@pytest.mark.parametrize("label,factory", KERNEL_POPULATIONS,
+                         ids=[label for label, _ in KERNEL_POPULATIONS])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_kernel_deliver_matches_per_node_fold(label, factory, seed):
+    """Random CSR segments (incl. empty inboxes): each deliver_batch
+    kernel is bit-identical to the per-node deliver fold."""
+    sim_batch, batch = _run(label, factory, seed, "fast")
+    assert sim_batch._tier_rounds["batch"] > 0, "kernel never engaged"
+    _, nobatch = _run(label, factory, seed, "fast-nobatch")
+    _, ref = _run(label, factory, seed, "reference")
+    assert batch == nobatch
+    assert batch == ref
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_fold_matches_with_all_halted_neighbours(seed):
+    """All-halted-neighbours edge: staggered halt bounds mean late rounds
+    deliver into inboxes whose senders are all halted.  The kernel
+    builder must decline the non-uniform bound (halting must stay
+    population-wide atomic on the batch tier) and every tier must agree."""
+    def factory(n):
+        return [FloodMax(i, value=(i * 31) % 997,
+                         rounds_bound=6 if i % 2 else BOUND_ROUNDS)
+                for i in range(n)]
+
+    results = {}
+    for engine in ("fast", "fast-nobatch", "reference"):
+        sim, results[engine] = _run("flood_max_staggered", factory, seed,
+                                    engine)
+        if engine == "fast":
+            assert sim._tier_rounds["batch"] == 0  # non-uniform bound
+    assert results["fast"] == results["fast-nobatch"] == results["reference"]
+
+
+@pytest.mark.parametrize("label,factory", KERNEL_POPULATIONS[:6],
+                         ids=[label for label, _ in KERNEL_POPULATIONS[:6]])
+def test_finalize_restores_node_state_across_split_runs(label, factory):
+    """Stopping a batch run and resuming it (two ``run()`` calls) must
+    equal one uninterrupted per-node run: ``finalize`` has to write the
+    kernel arrays back into the node objects verbatim at every exit."""
+    seed = 5
+    n = 10
+
+    def fresh(engine):
+        schedule = ExplicitSchedule(n, _random_rounds(seed, n), cycle=True,
+                                    interval=None)
+        return Simulator(schedule, factory(n), rng=RngRegistry(seed),
+                         engine=engine)
+
+    sim_split = fresh("fast")
+    sim_split.run(max_rounds=7, until="halted", allow_timeout=True)
+    split = sim_split.run(max_rounds=60, until="halted", allow_timeout=True)
+
+    sim_whole = fresh("fast-nobatch")
+    sim_whole.run(max_rounds=7, until="halted", allow_timeout=True)
+    whole = sim_whole.run(max_rounds=60, until="halted", allow_timeout=True)
+
+    assert sim_split._tier_rounds["batch"] > 0
+    assert split.outputs == whole.outputs
+    assert split.rounds == whole.rounds
+    assert split.stop_reason == whole.stop_reason
+    assert split.metrics == whole.metrics
+
+
+def test_build_batch_kernel_declines_prehalted_population():
+    nodes = [FloodMax(i, value=i, rounds_bound=5) for i in range(4)]
+    nodes[2].halt()
+    assert build_batch_kernel(nodes) is None
+
+
+def test_build_batch_kernel_declines_plain_algorithms():
+    from repro.simnet.node import Algorithm
+
+    class Plain(Algorithm):
+        def compose(self, ctx):
+            return None
+
+        def deliver(self, ctx, inbox):
+            self.mark_changed(False)
+
+    assert build_batch_kernel([Plain(i) for i in range(3)]) is None

@@ -1,13 +1,16 @@
-"""Golden equivalence: the fast engine is observably identical to the
+"""Golden equivalence: every engine tier is observably identical to the
 reference engine.
 
-The fast path (``Simulator(engine="fast")``, the default) must produce
-**byte-identical** results to the reference loops across topologies ×
-algorithms × loss rates: same outputs, same round counts, same stop
-reason, same metric counters, same trace event stream, and the same
-RNG consumption.  These tests are the contract that lets every
-experiment run on the fast path while the reference loops remain the
-executable specification.
+The engine now has **three** dispatch tiers (see
+:mod:`repro.simnet.batch`): batch kernels (``engine="fast"``, the
+default, when the population provides one), the per-node fast path
+(``engine="fast-nobatch"``), and the reference loops
+(``engine="reference"``).  All three must produce **byte-identical**
+results across topologies × algorithms × loss rates: same outputs, same
+round counts, same stop reason, same metric counters, same trace event
+stream, and the same RNG consumption.  These tests are the contract
+that lets every experiment run on the fastest available tier while the
+reference loops remain the executable specification.
 
 Also covered here: the CSR adjacency construction itself (against a
 naive reference), the interval-aware cache (object identity across
@@ -44,14 +47,18 @@ from repro.simnet.engine import PHASES
 # helpers
 # --------------------------------------------------------------------------
 
-def _run_both(spec: TrialSpec, seed: int):
-    """Run one spec under both engines, returning (fast, reference)."""
+#: All three dispatch tiers, pinned explicitly (never the process default).
+ENGINES = ("fast", "fast-nobatch", "reference")
+
+
+def _run_all(spec: TrialSpec, seed: int):
+    """Run one spec under every engine tier, keyed by engine name."""
     results = {}
-    for engine in ("fast", "reference"):
+    for engine in ENGINES:
         config = spec.to_config()
         config.engine = engine
         results[engine] = run_trial(config, seed)
-    return results["fast"], results["reference"]
+    return results
 
 
 def _sim(schedule_factory, seed, *, engine, loss_rate=0.0, trace=None):
@@ -140,11 +147,14 @@ GRID = [
 
 @pytest.mark.parametrize("spec", GRID)
 @pytest.mark.parametrize("seed", [3, 11])
-def test_fast_matches_reference_across_grid(spec, seed):
-    fast, ref = _run_both(spec, seed)
-    assert fast == ref  # TrialResult is a frozen dataclass: full equality
+def test_engine_tiers_match_across_grid(spec, seed):
+    results = _run_all(spec, seed)
+    ref = results["reference"]
+    for engine in ENGINES[:-1]:
+        # TrialResult is a frozen dataclass: full equality.
+        assert results[engine] == ref, f"{engine} diverges from reference"
     if spec.oracle is not None:
-        assert fast.correct is True
+        assert ref.correct is True
 
 
 @pytest.mark.parametrize("loss_rate", [0.1, 0.3])
@@ -155,11 +165,14 @@ def test_fast_matches_reference_under_loss(loss_rate, seed):
         return OverlapHandoffAdversary(20, 2, noise_edges=2, seed=s)
 
     results = {}
-    for engine in ("fast", "reference"):
+    for engine in ENGINES:
         sim = _sim(factory, seed, engine=engine, loss_rate=loss_rate)
         results[engine] = sim.run(max_rounds=4000, until="quiescent",
                                   quiescence_window=32, allow_timeout=True)
+        # Loss draws are inbox-order sensitive; batch tier must stand down.
+        assert sim._tier_rounds["batch"] == 0
     _assert_run_results_equal(results["fast"], results["reference"])
+    _assert_run_results_equal(results["fast-nobatch"], results["reference"])
     assert results["fast"].metrics.counters.get("messages_lost", 0) > 0
 
 
@@ -170,12 +183,15 @@ def test_trace_event_streams_identical(seed):
         return OverlapHandoffAdversary(16, 2, noise_edges=1, seed=s)
 
     traces = {}
-    for engine in ("fast", "reference"):
+    for engine in ENGINES:
         trace = TraceRecorder()
         sim = _sim(factory, seed, engine=engine, trace=trace)
         sim.run(max_rounds=2000, until="quiescent", quiescence_window=16)
+        # Tracing needs per-broadcast events; batch tier must stand down.
+        assert sim._tier_rounds["batch"] == 0
         traces[engine] = list(trace.events)
     assert traces["fast"] == traces["reference"]
+    assert traces["fast-nobatch"] == traces["reference"]
 
 
 def test_minimal_schedule_falls_back_to_reference():
@@ -196,6 +212,131 @@ def test_minimal_schedule_falls_back_to_reference():
     assert sim.engine == "reference"
     result = sim.run(max_rounds=500, until="quiescent", quiescence_window=16)
     assert result.outputs == {i: 6 for i in range(6)}
+
+
+# --------------------------------------------------------------------------
+# batch-kernel tier: dispatch rules and direct-Simulator equivalence
+# --------------------------------------------------------------------------
+
+def _handoff(seed):
+    return OverlapHandoffAdversary(20, 4, noise_edges=2, seed=seed)
+
+
+def test_batch_tier_engages_on_eligible_run():
+    """The default engine runs every round on the batch tier when the
+    population provides a kernel and nothing disqualifies the run."""
+    sim = _sim(_handoff, 5, engine="fast")
+    result = sim.run(max_rounds=2000, until="quiescent",
+                     quiescence_window=32)
+    assert sim._tier_rounds["batch"] == result.rounds
+    assert sim._tier_rounds["fast"] == 0
+    assert sim._tier_rounds["reference"] == 0
+
+
+def test_fast_nobatch_disables_batch_tier():
+    sim = _sim(_handoff, 5, engine="fast-nobatch")
+    result = sim.run(max_rounds=2000, until="quiescent",
+                     quiescence_window=32)
+    assert sim.engine == "fast"
+    assert sim.batch_kernels is False
+    assert sim._tier_rounds["batch"] == 0
+    assert sim._tier_rounds["fast"] == result.rounds
+
+
+def test_stop_when_predicate_disables_batch_tier():
+    """An oracle stop predicate may inspect per-round node state, so the
+    batch tier stands down — and results still match the reference."""
+    results = {}
+    for engine in ENGINES:
+        sim = _sim(_handoff, 9, engine=engine)
+        results[engine] = sim.run(
+            max_rounds=2000, until="quiescent", quiescence_window=32,
+            stop_when=lambda s: False)
+        assert sim._tier_rounds["batch"] == 0
+    _assert_run_results_equal(results["fast"], results["reference"])
+
+
+def test_mixed_population_disables_batch_tier():
+    """Kernels require a homogeneous population of one exact class.
+
+    ExactCount and ExactCountKnownBound interoperate (both fold id-set
+    unions) but are distinct classes, so the batch tier must stand down.
+    """
+    from repro.core.exact_count import ExactCountKnownBound
+
+    schedule = _handoff(3)
+    n = schedule.num_nodes
+    nodes = [ExactCount(i) if i % 2 else ExactCountKnownBound(i, 3 * n)
+             for i in range(n)]
+    sim = Simulator(schedule, nodes, rng=RngRegistry(3), engine="fast")
+    sim.run(max_rounds=500, until="quiescent", quiescence_window=16,
+            allow_timeout=True)
+    assert sim._tier_rounds["batch"] == 0
+    assert sim._tier_rounds["fast"] > 0
+
+
+@pytest.mark.parametrize("seed", [2, 13])
+def test_flood_max_three_way_equivalence(seed):
+    """flood_max has no exec spec; compare the tiers via direct Simulators."""
+    from repro.baselines.flooding import FloodMax
+
+    results = {}
+    for engine in ENGINES:
+        schedule = _handoff(seed)
+        n = schedule.num_nodes
+        nodes = [FloodMax(i, value=(i * 7919) % 1023, rounds_bound=n - 1)
+                 for i in range(n)]
+        sim = Simulator(schedule, nodes, rng=RngRegistry(seed),
+                        engine=engine)
+        results[engine] = sim.run(max_rounds=4000, until="halted")
+        if engine == "fast":
+            assert sim._tier_rounds["batch"] > 0
+    _assert_run_results_equal(results["fast"], results["reference"])
+    _assert_run_results_equal(results["fast-nobatch"], results["reference"])
+
+
+@pytest.mark.parametrize("seed", [2, 13])
+def test_flood_broadcast_three_way_equivalence(seed):
+    from repro.baselines.flooding import FloodBroadcast
+
+    results = {}
+    for engine in ENGINES:
+        schedule = _handoff(seed)
+        n = schedule.num_nodes
+        nodes = [FloodBroadcast(i, rounds_bound=n - 1,
+                                payload=("tok", i) if i in (0, 3) else None)
+                 for i in range(n)]
+        sim = Simulator(schedule, nodes, rng=RngRegistry(seed),
+                        engine=engine)
+        results[engine] = sim.run(max_rounds=4000, until="halted")
+        if engine == "fast":
+            assert sim._tier_rounds["batch"] > 0
+    _assert_run_results_equal(results["fast"], results["reference"])
+    _assert_run_results_equal(results["fast-nobatch"], results["reference"])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_stats_only_present_when_profiled(engine):
+    """Unprofiled RunResults stay byte-comparable across tiers: the
+    per-tier round counts appear only under ``profile=True``."""
+    sim = _sim(_handoff, 4, engine=engine)
+    result = sim.run(max_rounds=1000, until="quiescent",
+                     quiescence_window=16)
+    assert result.metrics.engine_stats is None
+    assert not any(k.startswith("engine.")
+                   for k in result.metrics.as_dict())
+
+    sim = Simulator(_handoff(4), [ExactCount(i) for i in range(20)],
+                    rng=RngRegistry(4), engine=engine, profile=True)
+    result = sim.run(max_rounds=1000, until="quiescent",
+                     quiescence_window=16)
+    stats = result.metrics.engine_stats
+    assert stats is not None
+    assert set(stats) == {"batch", "fast", "reference"}
+    assert sum(stats.values()) == result.rounds
+    flat = result.metrics.as_dict()
+    for tier in ("batch", "fast", "reference"):
+        assert f"engine.{tier}_rounds" in flat
 
 
 # --------------------------------------------------------------------------
