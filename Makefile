@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke experiments sweep-parallel report examples clean
+.PHONY: install test test-fast bench bench-quick bench-smoke experiments sweep-parallel report docs docs-check examples clean
 
 install:
 	pip install -e .
@@ -35,6 +35,15 @@ sweep-parallel:
 
 report:          ## rebuild EXPERIMENTS.md from results/
 	$(PY) -m repro.harness.report results EXPERIMENTS.md
+
+docs:            ## regenerate every generated document from results/
+	$(PY) -m repro.harness.report results EXPERIMENTS.md
+	$(PY) -m repro.report --results results --out docs/RESULTS.md
+
+docs-check:      ## CI gate: fail when committed docs drift from results/
+	$(PY) -m repro.harness.report --check results EXPERIMENTS.md
+	$(PY) -m repro.report --check --results results --out docs/RESULTS.md
+	$(PY) tools/check_links.py
 
 examples:
 	$(PY) examples/quickstart.py

@@ -15,7 +15,12 @@ The package is organised as (see DESIGN.md for the full inventory):
   figure of the (reconstructed) evaluation;
 * :mod:`repro.exec` — parallel experiment executor: declarative
   :class:`TrialSpec` trials, a content-addressed result cache, and
-  crash-safe resumable sweeps across worker processes.
+  crash-safe resumable sweeps across worker processes;
+* :mod:`repro.obs` — structured observability: versioned JSONL event
+  streams from any run (decisions, engine-tier dispatch, cache
+  counters), free when disabled;
+* :mod:`repro.report` — renders ``results/`` into ``docs/RESULTS.md``
+  (claim verdicts, scaling fits, row tables), drift-checked in CI.
 
 Quickstart::
 

@@ -61,16 +61,23 @@ def render_table(rows: Sequence[Dict[str, object]],
 def render_markdown(rows: Sequence[Dict[str, object]],
                     columns: Optional[Sequence[str]] = None,
                     float_fmt: str = ".4g") -> str:
-    """GitHub-flavoured Markdown table."""
+    """GitHub-flavoured Markdown table.
+
+    Literal ``|`` characters in cell values are escaped so free-text
+    columns (e.g. claim evidence strings) cannot break the row grid.
+    """
     if not rows:
         return "(no rows)"
+
+    def cell(value: object) -> str:
+        return _fmt(value, float_fmt).replace("|", "\\|")
+
     cols = _columns(rows, columns)
     out = io.StringIO()
     out.write("| " + " | ".join(cols) + " |\n")
     out.write("|" + "|".join("---" for _ in cols) + "|\n")
     for row in rows:
-        out.write("| " + " | ".join(_fmt(row.get(c), float_fmt)
-                                    for c in cols) + " |\n")
+        out.write("| " + " | ".join(cell(row.get(c)) for c in cols) + " |\n")
     return out.getvalue().rstrip("\n")
 
 

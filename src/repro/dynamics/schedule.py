@@ -260,6 +260,17 @@ class GraphSchedule:
         # (lo, hi, csr): rounds lo..hi are known to share `csr` — set from
         # the stable_until hint so stable windows skip edges() entirely
         self._adj_span: Optional[Tuple[int, int, CSRAdjacency]] = None
+        #: Lifetime counters of the interval-aware adjacency cache:
+        #: ``span_hits`` (served from a known-stable span without calling
+        #: ``edges``), ``fingerprint_hits`` (distinct round, same graph),
+        #: ``builds`` (CSR constructed), ``evictions`` (LRU drops).  The
+        #: engine's observability layer reports per-run deltas of these
+        #: as ``CacheEvent``\ s; at most a few increments per round, so
+        #: they stay on unconditionally.
+        self.adjacency_stats: Dict[str, int] = {
+            "span_hits": 0, "fingerprint_hits": 0,
+            "builds": 0, "evictions": 0,
+        }
 
     # -- abstract -------------------------------------------------------------
 
@@ -295,17 +306,23 @@ class GraphSchedule:
         :meth:`edges`; other rounds are deduplicated by content
         fingerprint, so T identical rounds cost one build, not T.
         """
+        stats = self.adjacency_stats
         span = self._adj_span
         if span is not None and span[0] <= round_index <= span[1]:
+            stats["span_hits"] += 1
             return span[2]
         edge_arr = self.edges(round_index)
         key = _graph_fingerprint(edge_arr)
         cache = self._adj_cache
         csr = cache.pop(key, None)
         if csr is None:
+            stats["builds"] += 1
             csr = build_csr(edge_arr, self.num_nodes)
             if len(cache) >= self._ADJACENCY_CACHE:
+                stats["evictions"] += 1
                 cache.pop(next(iter(cache)))
+        else:
+            stats["fingerprint_hits"] += 1
         cache[key] = csr
         self._adj_span = (
             round_index, max(round_index, self.stable_until(round_index)), csr)

@@ -136,6 +136,11 @@ def _parser() -> argparse.ArgumentParser:
                      help="write rows as JSON (atomic rename)")
     run.add_argument("--no-progress", action="store_true",
                      help="suppress the live status line")
+    run.add_argument("--events", default=None, metavar="DIR",
+                     help="record per-trial JSONL event streams under DIR "
+                          "and merge them into DIR/events.jsonl (cached "
+                          "cells execute no trial, so they emit no "
+                          "events); see docs/OBSERVABILITY.md")
 
     sub.add_parser("builders",
                    help="list registered schedule/node/oracle builders")
@@ -150,6 +155,13 @@ def _parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cells = load_sweep_file(args.sweep)
+    if args.events:
+        import os
+
+        from ..obs.recorder import set_events_dir
+
+        os.makedirs(args.events, exist_ok=True)
+        set_events_dir(args.events)  # exported; worker processes inherit
     executor = ParallelExecutor(
         workers=args.workers,
         cache=args.cache_dir,
@@ -160,6 +172,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     report = executor.run(cells)
     print(report.summary())
+    if args.events:
+        from ..obs.merge import merge_event_streams
+
+        merged, summary = merge_event_streams(args.events)
+        print(f"events -> {merged}: {summary.render()}")
     if args.out:
         path = write_rows_atomic(args.out, report.rows,
                                  meta={"sweep": args.sweep,

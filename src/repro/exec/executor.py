@@ -49,10 +49,14 @@ def execute_cell(spec: TrialSpec, seed: int) -> Dict[str, Any]:
     This is the unit of work shipped to worker processes; it is also the
     unit that gets cached, which is why tags — pure row labels — are
     merged only afterwards, letting relabelled grids share cache entries.
+
+    The spec is handed to :func:`~repro.harness.runner.run_trial`
+    unresolved so the runner can stamp event streams with the spec's
+    label and content-address hash (see :mod:`repro.obs`).
     """
     from ..harness.runner import run_trial
 
-    return run_trial(spec.to_config(), seed).as_row()
+    return run_trial(spec, seed).as_row()
 
 
 def _record_worker_phases(row: Dict[str, Any]) -> None:

@@ -75,6 +75,11 @@ def _parser() -> argparse.ArgumentParser:
                              "construct (default: fast, with batch-kernel "
                              "dispatch; all choices produce identical "
                              "results)")
+    parser.add_argument("--events", default=None, metavar="DIR",
+                        help="record schema-validated JSONL event streams "
+                             "(one trial-*.jsonl per trial) under DIR and "
+                             "merge them into DIR/events.jsonl afterwards; "
+                             "see docs/OBSERVABILITY.md")
     return parser
 
 
@@ -150,6 +155,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..simnet.engine import set_engine_default
 
         set_engine_default(args.engine)
+    if args.events:
+        import os
+
+        from ..obs.recorder import set_events_dir
+
+        os.makedirs(args.events, exist_ok=True)
+        set_events_dir(args.events)
     exec_opts = _exec_options(args)
 
     # T1 feeds F1 and F5; share its rows when several are requested.
@@ -179,6 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             path = save_experiment(result, args.out)
             print(f"[saved to {path}]\n")
+    if args.events:
+        from ..obs.merge import merge_event_streams
+
+        merged, summary = merge_event_streams(args.events)
+        print(f"[events merged to {merged}: {summary.render()}]")
     return 0
 
 

@@ -14,10 +14,13 @@ halting algorithms it coincides with the total rounds executed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
+from ..obs import events as obs_events
+from ..obs.recorder import Recorder, events_dir
 from ..simnet.engine import RunResult, Simulator
 from ..simnet.node import Algorithm
 from ..simnet.rng import RngRegistry
@@ -186,6 +189,30 @@ class TrialResult:
         return row
 
 
+# Per-process counter distinguishing trial event streams that share a
+# seed (e.g. replicates of different grid points); combined with the PID
+# it keeps every worker's stream files collision-free without locks.
+_STREAM_SEQ = 0
+
+
+def _open_trial_recorder(label: str, spec_key: str, seed: int,
+                         config: "TrialConfig") -> Optional[Recorder]:
+    """A JSONL recorder for this trial, or None when events are off."""
+    global _STREAM_SEQ
+    out_dir = events_dir()
+    if out_dir is None:
+        return None
+    _STREAM_SEQ += 1
+    path = os.path.join(
+        out_dir, f"trial-{os.getpid()}-{_STREAM_SEQ:04d}-seed{seed}.jsonl")
+    recorder = Recorder.to_jsonl(path)
+    recorder.emit(obs_events.TrialEvent(
+        seed=seed, label=label, spec=spec_key,
+        engine=config.engine if config.engine is not None else "default",
+        until=config.until, max_rounds=config.max_rounds))
+    return recorder
+
+
 def run_trial(config: TrialLike, seed: int) -> TrialResult:
     """Execute one trial with the given seed.
 
@@ -193,25 +220,41 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
     :class:`repro.exec.TrialSpec` (resolved via its ``to_config``); all
     randomness derives from ``RngRegistry(seed)``, never ambient state,
     so equal inputs reproduce byte-identical results in any process.
+
+    When a process-wide events directory is configured (the CLI's
+    ``--events DIR`` flag or ``REPRO_EVENTS_DIR``; see
+    :mod:`repro.obs`), the trial additionally writes a schema-validated
+    ``trial-*.jsonl`` event stream there, headed by a provenance
+    record.  Recording never changes the measured results — the engine
+    guarantees recorded and unrecorded runs are bit-identical.
     """
+    label = spec_key = ""
     if not isinstance(config, TrialConfig):
+        label = config.label()
+        spec_key = config.key(seed)
         config = config.to_config()
     schedule = config.schedule_factory(seed)
     nodes = list(config.node_factory(schedule, seed))
+    recorder = _open_trial_recorder(label, spec_key, seed, config)
     sim = Simulator(
         schedule, nodes, rng=RngRegistry(seed),
         bandwidth_bits=config.bandwidth_bits,
         engine=config.engine,
         profile=config.profile,
         batch_kernels=config.batch_kernels,
+        recorder=recorder,
     )
-    result: RunResult = sim.run(
-        max_rounds=config.max_rounds,
-        until=config.until,
-        quiescence_window=config.quiescence_window,
-        stop_when=config.stop_when,
-        allow_timeout=config.allow_timeout,
-    )
+    try:
+        result: RunResult = sim.run(
+            max_rounds=config.max_rounds,
+            until=config.until,
+            quiescence_window=config.quiescence_window,
+            stop_when=config.stop_when,
+            allow_timeout=config.allow_timeout,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     correct: Optional[bool] = None
     if config.oracle is not None:
         correct = bool(config.oracle(result.outputs, schedule))

@@ -1,0 +1,107 @@
+"""Event sinks: where a :class:`~repro.obs.recorder.Recorder` streams to.
+
+Three targets cover the use cases:
+
+* :class:`MemorySink` — a list, for tests and interactive inspection;
+* :class:`JsonlSink` — one validated JSON object per line, flushed per
+  event; the canonical archival format (and what the executor merge in
+  :mod:`repro.obs.merge` consumes);
+* :class:`CsvSink` — a flattened CSV with the union of all field names
+  as columns, for spreadsheet-style slicing.  Rows are buffered until
+  :meth:`CsvSink.close` because the column set is only known then.
+
+All sinks are append-only and close idempotently.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Any, Dict, List, Union
+
+from .events import Event, event_to_json
+
+__all__ = ["EventSink", "MemorySink", "JsonlSink", "CsvSink"]
+
+
+class EventSink:
+    """Sink interface: ``write(event)`` per event, ``close()`` once."""
+
+    def write(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Default: nothing to release."""
+
+
+class MemorySink(EventSink):
+    """Keeps the events in a plain list (:attr:`events`)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Streams events as JSON lines to a path or an open text file.
+
+    Each line is written and flushed immediately, so a crashed run
+    leaves a readable prefix (same crash posture as the executor's
+    journal).
+    """
+
+    def __init__(self, target: Union[str, os.PathLike, io.TextIOBase]) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            parent = os.path.dirname(os.fspath(target))
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh: Any = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def write(self, event: Event) -> None:
+        self._fh.write(event_to_json(event) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+
+class CsvSink(EventSink):
+    """Flattens events into one CSV with the union of fields as columns.
+
+    Every row carries ``kind`` and ``v`` plus each event's own fields;
+    fields an event does not have are left empty.  The header is the
+    sorted field union, so output is deterministic for a given stream.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._path = os.fspath(path)
+        self._rows: List[Dict[str, Any]] = []
+        self._closed = False
+
+    def write(self, event: Event) -> None:
+        self._rows.append(event.to_dict())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        lead = ["kind", "v"]
+        rest: List[str] = sorted(
+            {key for row in self._rows for key in row} - set(lead))
+        with open(self._path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=lead + rest,
+                                    extrasaction="ignore")
+            writer.writeheader()
+            for row in self._rows:
+                writer.writerow(row)

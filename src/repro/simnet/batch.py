@@ -55,6 +55,7 @@ __all__ = [
     "BatchKernel",
     "BatchQuiescence",
     "build_batch_kernel",
+    "describe_batch_ineligibility",
     "aggregate_batch_kernel",
     "segment_reduce",
     "segment_counts",
@@ -228,6 +229,29 @@ def build_batch_kernel(nodes: Sequence[Any],
         if type(node) is not cls or node._halted:
             return None
     return hook(nodes, id_bits=id_bits)
+
+
+def describe_batch_ineligibility(nodes: Sequence[Any]) -> str:
+    """Why :func:`build_batch_kernel` returned ``None`` for *nodes*.
+
+    The observability layer surfaces this through
+    :class:`~repro.obs.events.EngineTierEvent` reasons, so "why didn't
+    the kernels engage?" is answerable from the event stream alone.
+    The checks mirror :func:`build_batch_kernel` exactly.
+    """
+    if not nodes:
+        return "empty node population"
+    cls = type(nodes[0])
+    if getattr(cls, "__batch_kernel__", None) is None:
+        return f"{cls.__name__} exposes no __batch_kernel__ hook"
+    for node in nodes:
+        if type(node) is not cls:
+            return (f"heterogeneous population "
+                    f"({cls.__name__} + {type(node).__name__})")
+        if node._halted:
+            return "population already contains halted nodes"
+    return (f"{cls.__name__}.__batch_kernel__ declined the population "
+            f"(state it cannot represent exactly)")
 
 
 # --------------------------------------------------------------------------

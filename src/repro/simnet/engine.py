@@ -60,6 +60,17 @@ variable, which is what the harness CLI's ``--profile`` flag does) to
 collect monotonic per-phase wall-clock totals — ``compose``, ``reveal``,
 ``deliver``, ``drain`` — surfaced as
 :attr:`~repro.simnet.metrics.RunMetrics.phase_seconds`.
+
+Observability
+-------------
+Pass ``recorder=`` a :class:`repro.obs.Recorder` to stream structured
+events (per-round broadcast/delivery totals, decision lifecycles,
+engine-tier dispatch decisions with reasons, cache hit/miss counters).
+The hook is zero-overhead when absent — one ``is None`` check per round,
+no event objects allocated; when present, rounds route through
+:meth:`Simulator._step_recorded` and the fused loop is disabled (the
+same observable-phase-boundary rule as profiling).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -74,7 +85,10 @@ import numpy as np
 
 from .._validate import require_choice, require_positive_int
 from ..errors import BandwidthExceededError, ConfigurationError, NotTerminatedError
-from .batch import BatchContext, build_batch_kernel
+from ..obs import events as obs_events
+from ..obs.recorder import Recorder
+from .batch import (BatchContext, build_batch_kernel,
+                    describe_batch_ineligibility)
 from .message import bit_size
 from .metrics import MetricsCollector, RunMetrics
 from .node import Algorithm, RoundContext
@@ -226,6 +240,10 @@ class Simulator:
     profile:
         Collect per-phase wall-clock totals (see the module docstring).
         ``None`` (default) resolves to :func:`profile_default`.
+    recorder:
+        Optional :class:`repro.obs.Recorder` receiving the structured
+        event stream (see the module docstring).  ``None`` (default)
+        records nothing and costs nothing.
     """
 
     def __init__(
@@ -241,6 +259,7 @@ class Simulator:
         engine: Optional[str] = None,
         profile: Optional[bool] = None,
         batch_kernels: Optional[bool] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if len(nodes) != schedule.num_nodes:
             raise ConfigurationError(
@@ -288,8 +307,11 @@ class Simulator:
         self._bits_cache_cap = max(64, 4 * n)
         # The fast path needs the schedule's CSR adjacency; minimal
         # ScheduleLike implementations fall back to the reference loops.
+        self._engine_demotion: Optional[str] = None
         if engine == "fast" and getattr(schedule, "adjacency", None) is None:
             engine = "reference"
+            self._engine_demotion = ("schedule exposes no CSR adjacency; "
+                                     "using the reference loops")
         self.engine = engine
         if profile is None:
             profile = _PROFILE_DEFAULT
@@ -319,15 +341,26 @@ class Simulator:
         # consumed in inbox order), mid-phase strict-bandwidth raises, and
         # adaptive schedules that read node state between phases.  The
         # remaining (per-run) conditions are checked in
-        # _maybe_activate_batch when run() starts.
+        # _maybe_activate_batch when run() starts.  Each failed condition
+        # contributes a reason string, surfaced through EngineTierEvents
+        # when a recorder is attached.
         self.batch_kernels = bool(batch_kernels)
-        self._batch_enabled = (
-            self.engine == "fast"
-            and self.batch_kernels
-            and trace is None
-            and self.loss_rate == 0.0
-            and not (self.strict_bandwidth and bandwidth_bits is not None)
-            and bind is None)
+        static_reasons = []
+        if self.engine != "fast":
+            static_reasons.append(f"engine={self.engine!r}")
+        if not self.batch_kernels:
+            static_reasons.append("batch kernels disabled")
+        if trace is not None:
+            static_reasons.append("trace recorder attached")
+        if self.loss_rate != 0.0:
+            static_reasons.append("loss_rate > 0")
+        if self.strict_bandwidth and bandwidth_bits is not None:
+            static_reasons.append("strict bandwidth budget")
+        if bind is not None:
+            static_reasons.append("adaptive schedule binds node state")
+        self._batch_enabled = not static_reasons
+        self._batch_reason: Optional[str] = (
+            "; ".join(static_reasons) if static_reasons else None)
         self._batch_live = False
         self._batch_kernel: Optional[Any] = None
         self._batch_ctx: Optional[BatchContext] = None
@@ -335,6 +368,38 @@ class Simulator:
         #: Rounds executed per dispatch tier (surfaced via
         #: RunMetrics.engine_stats when profiling).
         self._tier_rounds: Dict[str, int] = {tier: 0 for tier in ENGINE_TIERS}
+        # Observability (see the module docstring): everything below is
+        # allocated only when a recorder is attached, so the unrecorded
+        # hot path pays one `is None` check per round and nothing else.
+        self.recorder = recorder
+        self._bits_stats: Optional[Dict[str, int]] = None
+        self._adj_stats_base: Optional[Dict[str, int]] = None
+        self._rec_halted: Optional[set] = None
+        self._rec_nodes_by_id: Optional[Dict[int, Algorithm]] = None
+        if recorder is not None:
+            self._rec_nodes_by_id = {node.node_id: node for node in self.nodes}
+            self._rec_halted = {
+                node.node_id for node in self.nodes if node._halted}
+            adj_stats = getattr(schedule, "adjacency_stats", None)
+            if adj_stats is not None:
+                self._adj_stats_base = dict(adj_stats)
+            # Count payload-bits cache hits/misses by shadowing the bound
+            # method with a tallying wrapper (instance attribute wins), so
+            # the uncounted method body stays on the unrecorded hot path.
+            self._bits_stats = {"hits": 0, "misses": 0}
+            inner = self._payload_bits
+            bits_cache = self._bits_cache
+            bits_stats = self._bits_stats
+
+            def _counted_payload_bits(payload: Any) -> int:
+                entry = bits_cache.get(id(payload))
+                if entry is not None and entry[0] is payload:
+                    bits_stats["hits"] += 1
+                else:
+                    bits_stats["misses"] += 1
+                return inner(payload)
+
+            self._payload_bits = _counted_payload_bits  # type: ignore[method-assign]
 
     # -- payload costing -----------------------------------------------------
 
@@ -361,6 +426,13 @@ class Simulator:
 
     def step(self) -> None:
         """Execute exactly one round."""
+        if self.recorder is None:
+            self._step_inner()
+        else:
+            self._step_recorded(self.recorder)
+
+    def _step_inner(self) -> None:
+        """One round via whichever dispatch tier is live."""
         if self._batch_live:
             self._tier_rounds["batch"] += 1
             self._step_batch()
@@ -370,6 +442,64 @@ class Simulator:
         else:
             self._tier_rounds["reference"] += 1
             self._step_reference()
+
+    def _step_recorded(self, rec: Recorder) -> None:
+        """One round with the observability stream attached.
+
+        Emits per-round :class:`~repro.obs.events.RoundEvent` /
+        :class:`~repro.obs.events.DeliveryEvent` totals (deltas of the
+        metric sums, so the events hold regardless of dispatch tier),
+        per-node :class:`~repro.obs.events.DecisionEvent` lifecycle
+        changes (diffed from the decision/halt state, which is how one
+        implementation covers all three tiers), and a mid-run
+        :class:`~repro.obs.events.EngineTierEvent` when the batch kernel
+        falls back to the per-node path.
+        """
+        metrics = self.metrics
+        prev_broadcasts = metrics.broadcasts
+        prev_bbits = metrics.broadcast_bits
+        prev_msgs = metrics.delivered_messages
+        prev_dbits = metrics.delivered_bits
+        prev_decisions = dict(metrics._decision_rounds)
+        was_batch = self._batch_live
+        tier = ("batch" if was_batch
+                else "fast" if self.engine == "fast" else "reference")
+
+        self._step_inner()
+
+        r = self.round_index
+        rec.emit(obs_events.RoundEvent(
+            round=r, tier=tier,
+            broadcasts=metrics.broadcasts - prev_broadcasts,
+            broadcast_bits=metrics.broadcast_bits - prev_bbits,
+            max_broadcast_bits=metrics.max_broadcast_bits))
+        rec.emit(obs_events.DeliveryEvent(
+            round=r,
+            messages=metrics.delivered_messages - prev_msgs,
+            bits=metrics.delivered_bits - prev_dbits))
+        now = metrics._decision_rounds
+        if now != prev_decisions:
+            by_id = self._rec_nodes_by_id
+            for node_id, decided_round in now.items():
+                if prev_decisions.get(node_id) != decided_round:
+                    node = by_id[node_id]
+                    rec.emit(obs_events.DecisionEvent(
+                        round=r, node_id=node_id, action="decide",
+                        value=node.output if node.decided else None))
+            for node_id in prev_decisions:
+                if node_id not in now:
+                    rec.emit(obs_events.DecisionEvent(
+                        round=r, node_id=node_id, action="retract"))
+        halted_seen = self._rec_halted
+        for node in self.nodes:
+            if node._halted and node.node_id not in halted_seen:
+                halted_seen.add(node.node_id)
+                rec.emit(obs_events.DecisionEvent(
+                    round=r, node_id=node.node_id, action="halt"))
+        if was_batch and not self._batch_live:
+            rec.emit(obs_events.EngineTierEvent(
+                round=r, tier="fast", action="fallback",
+                reason="halt event deactivated the batch kernel"))
 
     def _step_reference(self) -> None:
         """One round via the straightforward per-node loops (the spec)."""
@@ -515,11 +645,13 @@ class Simulator:
             prof["compose"] += t1 - t0
             t0 = t1
         csr = self.schedule.adjacency(r)
-        if (prof is None and trace is None
+        if (prof is None and trace is None and self.recorder is None
                 and not (self.strict_bandwidth
                          and self.bandwidth_bits is not None)):
             # Steady-state fused loop: phases 2-4 in one pass (see
             # _finish_round_fused for why the results are identical).
+            # A recorder routes through the split phases like profiling
+            # does, so its payload-bits cache tally sees every lookup.
             self._finish_round_fused(r, csr, senders, halted_in_compose)
             return
         if not self._any_halted:
@@ -777,14 +909,22 @@ class Simulator:
         captured here and replayed into metrics in the first batch step,
         exactly when the per-node drain would surface them.
         """
-        if (not self._batch_enabled
-                or stop_when is not None
-                or self._any_halted
-                or "on_broadcast" in self.metrics.__dict__):
+        if not self._batch_enabled:
+            return
+        if stop_when is not None:
+            self._batch_reason = "stop_when predicate inspects run state"
+            return
+        if self._any_halted:
+            self._batch_reason = "population already contains halted nodes"
+            return
+        if "on_broadcast" in self.metrics.__dict__:
+            self._batch_reason = "custom on_broadcast metrics override"
             return
         kernel = build_batch_kernel(self.nodes, self.id_bits)
         if kernel is None:
+            self._batch_reason = describe_batch_ineligibility(self.nodes)
             return
+        self._batch_reason = None
         pending: List[Tuple[int, List[tuple]]] = []
         for i, node in enumerate(self.nodes):
             if node._events:
@@ -957,6 +1097,18 @@ class Simulator:
 
         stop_reason = "max_rounds"
         self._maybe_activate_batch(stop_when)
+        rec = self.recorder
+        if rec is not None:
+            if self._batch_live:
+                tier, reason = "batch", "population batch kernel engaged"
+            else:
+                tier = "fast" if self.engine == "fast" else "reference"
+                parts = [p for p in (self._engine_demotion,
+                                     self._batch_reason) if p]
+                reason = "; ".join(parts)
+            rec.emit(obs_events.EngineTierEvent(
+                round=self.round_index, tier=tier, action="select",
+                reason=reason))
         try:
             while self.round_index < max_rounds:
                 self.step()
@@ -981,6 +1133,35 @@ class Simulator:
             # state before anyone (including the error path below, or a
             # later run() call) inspects them.
             self._deactivate_batch()
+
+        if rec is not None:
+            adj_stats = getattr(self.schedule, "adjacency_stats", None)
+            if adj_stats is not None:
+                base = self._adj_stats_base or {}
+                delta = {key: adj_stats[key] - base.get(key, 0)
+                         for key in adj_stats}
+                rec.emit(obs_events.CacheEvent(
+                    round=self.round_index, cache="adjacency",
+                    hits=delta.get("span_hits", 0)
+                    + delta.get("fingerprint_hits", 0),
+                    misses=delta.get("builds", 0),
+                    detail=(f"span_hits={delta.get('span_hits', 0)} "
+                            f"fingerprint_hits="
+                            f"{delta.get('fingerprint_hits', 0)} "
+                            f"evictions={delta.get('evictions', 0)}")))
+            bits_stats = self._bits_stats
+            if bits_stats is not None:
+                rec.emit(obs_events.CacheEvent(
+                    round=self.round_index, cache="payload_bits",
+                    hits=bits_stats["hits"], misses=bits_stats["misses"],
+                    detail=f"entries={len(self._bits_cache)}"))
+            tiers = self._tier_rounds
+            rec.emit(obs_events.SummaryEvent(
+                rounds=self.round_index, stop_reason=stop_reason,
+                broadcast_bits=self.metrics.broadcast_bits,
+                delivered_messages=self.metrics.delivered_messages,
+                batch_rounds=tiers["batch"], fast_rounds=tiers["fast"],
+                reference_rounds=tiers["reference"]))
 
         if stop_reason == "max_rounds" and not allow_timeout:
             undecided = tuple(

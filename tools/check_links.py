@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Verify every relative Markdown link in the repo's docs resolves.
+
+Scans ``README.md``, ``EXPERIMENTS.md``, and ``docs/*.md`` for inline
+links (``[text](target)``), skips external schemes (``http``,
+``https``, ``mailto``) and pure in-page anchors (``#...``), and fails
+with a per-link report when a target file does not exist.  Part of
+``make docs-check``: generated documents cross-link each other, so a
+renamed or deleted doc breaks CI instead of shipping a dead link.
+
+Usage: ``python tools/check_links.py [repo_root]``
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+from typing import List, Tuple
+
+# Inline links only; reference-style links are not used in this repo.
+# Deliberately does not match ``](...)`` spanning newlines.
+_LINK = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_paths(root: str) -> List[str]:
+    """Every Markdown document the checker covers, sorted."""
+    paths = [p for p in (os.path.join(root, "README.md"),
+                         os.path.join(root, "EXPERIMENTS.md"))
+             if os.path.exists(p)]
+    paths.extend(sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
+    return paths
+
+
+def broken_links(root: str) -> List[Tuple[str, int, str]]:
+    """``(doc, line number, target)`` for every dangling relative link."""
+    broken: List[Tuple[str, int, str]] = []
+    for doc in doc_paths(root):
+        base = os.path.dirname(doc)
+        with open(doc, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                for target in _LINK.findall(line):
+                    if target.startswith(_SKIP_PREFIXES):
+                        continue
+                    path = target.split("#", 1)[0]  # strip the anchor
+                    if not path:
+                        continue
+                    if not os.path.exists(os.path.join(base, path)):
+                        broken.append(
+                            (os.path.relpath(doc, root), lineno, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    bad = broken_links(root)
+    docs = doc_paths(root)
+    if bad:
+        for doc, lineno, target in bad:
+            print(f"{doc}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+        print(f"{len(bad)} broken links across {len(docs)} documents",
+              file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {len(docs)} documents")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
