@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke experiments sweep-parallel report docs docs-check examples clean
+.PHONY: install test test-fast lint bench bench-quick bench-smoke experiments sweep-parallel report docs docs-check examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,19 @@ test:
 
 test-fast:
 	$(PY) -m pytest tests/ -m "not slow" -x -q
+
+# Lint + strict type-check the engine-backend package (the pluggable
+# registry in src/repro/simnet/backends/ is held to the strictest bar;
+# config in pyproject.toml).  Each tool is skipped with a notice when
+# not installed, so the target is usable from the bare runtime
+# environment; CI installs both and enforces them.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+	    ruff check src/repro/simnet/backends; \
+	else echo "[lint] ruff not installed; skipping (pip install ruff)"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+	    mypy --strict src/repro/simnet/backends; \
+	else echo "[lint] mypy not installed; skipping (pip install mypy)"; fi
 
 bench:           ## full-size: regenerates every table/figure into results/
 	$(PY) -m pytest benchmarks/ --benchmark-only

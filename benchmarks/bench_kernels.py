@@ -12,13 +12,16 @@ Doubles as the second CI smoke gate::
 
     python benchmarks/bench_kernels.py --smoke
 
-which gates two things against the committed
+which gates three things against the committed
 ``results/bench_kernels_baseline.json``:
 
 * per-N kernel/fast speedup ratios must stay within 25% of baseline
   (ratios, not absolute timings — machine-portable);
 * the kernel tier must clear an **absolute 3x** over the per-node fast
-  path at N=1024 (the tentpole acceptance bar).
+  path at N=1024 (the tentpole acceptance bar);
+* under per-edge Bernoulli loss (``loss_rate=0.2``) the kernel tier
+  must still beat the fast path outright at N=1024 — the loss-capable
+  batch kernels must not regress to a slower-than-fast curiosity.
 
 ``--write-baseline`` refreshes the committed baseline.
 """
@@ -57,7 +60,7 @@ SMOKE_ROUNDS = {256: 240, 1024: 80, 4096: 24}
 
 
 def _measure_rounds_per_sec(engine: str, n: int, rounds: int,
-                            reps: int = 2) -> float:
+                            reps: int = 2, loss_rate: float = 0.0) -> float:
     """Best-of-*reps* rounds/sec of *engine* through ``Simulator.run``.
 
     ``run()`` (not bare ``step()``) so the batch tier activates; the
@@ -69,7 +72,8 @@ def _measure_rounds_per_sec(engine: str, n: int, rounds: int,
         sched = OverlapHandoffAdversary(n, 4, noise_edges=0, seed=0)
         nodes = [SublinearMax(i, value=(i * 9176 + 37) % 100003)
                  for i in range(n)]
-        sim = Simulator(sched, nodes, rng=RngRegistry(0), engine=engine)
+        sim = Simulator(sched, nodes, rng=RngRegistry(0), engine=engine,
+                        loss_rate=loss_rate)
         start = perf_counter()
         result = sim.run(max_rounds=rounds, until="halted",
                          allow_timeout=True)
@@ -102,27 +106,68 @@ def kernel_comparison(ns=(256, 1024, 4096), rounds_by_n=None):
     return rows
 
 
-def _dump(rows, path, mode):
+#: Per-edge Bernoulli loss probability for the lossy gate rows.
+LOSSY_RATE = 0.2
+
+#: N at which the lossy kernel-vs-fast comparison is measured and gated.
+LOSSY_N = 1024
+
+
+def lossy_comparison(n=LOSSY_N, rounds=None):
+    """Kernel-vs-fast rounds/sec at *n* with per-edge Bernoulli loss.
+
+    The batch backend serves lossy runs through vectorised per-edge
+    loss masks (``lossy_delivery_view``); this row proves the masked
+    kernels still beat the per-node fast path rather than merely
+    matching its results.
+    """
+    rounds = rounds or SMOKE_ROUNDS[n]
+    rates = {label: _measure_rounds_per_sec(engine, n, rounds,
+                                            loss_rate=LOSSY_RATE)
+             for label, engine in TIERS if label != "reference"}
+    return {
+        "n": n,
+        "loss_rate": LOSSY_RATE,
+        "rounds_timed": rounds,
+        "kernel_rounds_per_sec": round(rates["kernel"], 1),
+        "fast_rounds_per_sec": round(rates["fast"], 1),
+        "kernel_speedup": round(rates["kernel"] / rates["fast"], 3),
+    }
+
+
+def _dump(rows, path, mode, lossy=None):
     os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {"bench": "batch_kernels", "mode": mode,
+               "nodes": "sublinear_max", "schedule": "overlap_handoff_T4",
+               "rows": rows}
+    if lossy is not None:
+        payload["lossy"] = lossy
     with open(path, "w") as fh:
-        json.dump({"bench": "batch_kernels", "mode": mode,
-                   "nodes": "sublinear_max", "schedule": "overlap_handoff_T4",
-                   "rows": rows}, fh, indent=2)
+        json.dump(payload, fh, indent=2)
         fh.write("\n")
 
 
-def _print_rows(rows):
+def _print_rows(rows, lossy=None):
     for row in rows:
         print(f"  N={row['n']}: kernel {row['kernel_rounds_per_sec']:.0f} "
               f"r/s, fast {row['fast_rounds_per_sec']:.0f} r/s, reference "
               f"{row['reference_rounds_per_sec']:.0f} r/s "
               f"(kernel/fast {row['kernel_speedup']:.2f}x, "
               f"fast/reference {row['fast_speedup']:.2f}x)")
+    if lossy is not None:
+        print(f"  N={lossy['n']} loss={lossy['loss_rate']}: kernel "
+              f"{lossy['kernel_rounds_per_sec']:.0f} r/s, fast "
+              f"{lossy['fast_rounds_per_sec']:.0f} r/s "
+              f"(kernel/fast {lossy['kernel_speedup']:.2f}x)")
 
 
 #: Acceptance bar: kernel tier over per-node fast path at this N.
 ABSOLUTE_BAR_N = 1024
 ABSOLUTE_BAR = 3.0
+
+#: Lossy acceptance bar: the loss-masked kernels must beat (not merely
+#: match) the per-node fast path under loss at N=1024.
+LOSSY_BAR = 1.0
 
 
 def run_smoke(baseline_path=None, out_path=None,
@@ -130,22 +175,30 @@ def run_smoke(baseline_path=None, out_path=None,
     """Smoke-sized measurement, persisted and gated against the baseline.
 
     Exit code 0 when (a) every N's kernel/fast ratio is within
-    *max_regression* of the committed baseline's and (b) the absolute
-    kernel/fast speedup at N=1024 clears the 3x acceptance bar.
+    *max_regression* of the committed baseline's, (b) the absolute
+    kernel/fast speedup at N=1024 clears the 3x acceptance bar, and
+    (c) the lossy kernel/fast ratio at N=1024 stays above 1.0 — the
+    loss-masked kernels must beat the per-node fast path outright.
     """
     baseline_path = baseline_path or os.path.join(
         RESULTS_DIR, "bench_kernels_baseline.json")
     out_path = out_path or os.path.join(RESULTS_DIR, "BENCH_kernels.json")
     rows = kernel_comparison(rounds_by_n=SMOKE_ROUNDS)
-    _dump(rows, out_path, mode="smoke")
+    lossy = lossy_comparison()
+    _dump(rows, out_path, mode="smoke", lossy=lossy)
     print(f"[bench-kernels] -> {out_path}")
-    _print_rows(rows)
+    _print_rows(rows, lossy=lossy)
     failed = False
     bar_row = next(r for r in rows if r["n"] == ABSOLUTE_BAR_N)
     if bar_row["kernel_speedup"] < ABSOLUTE_BAR:
         print(f"  N={ABSOLUTE_BAR_N}: kernel/fast "
               f"{bar_row['kernel_speedup']:.2f}x is below the absolute "
               f"{ABSOLUTE_BAR:.1f}x acceptance bar -> REGRESSED")
+        failed = True
+    if lossy["kernel_speedup"] <= LOSSY_BAR:
+        print(f"  N={LOSSY_N} loss={LOSSY_RATE}: kernel/fast "
+              f"{lossy['kernel_speedup']:.2f}x does not clear the "
+              f"{LOSSY_BAR:.1f}x lossy bar -> REGRESSED")
         failed = True
     if os.path.exists(baseline_path):
         with open(baseline_path) as fh:
@@ -179,17 +232,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.write_baseline:
         rows = kernel_comparison(rounds_by_n=SMOKE_ROUNDS)
+        lossy = lossy_comparison()
         baseline_path = os.path.join(RESULTS_DIR,
                                      "bench_kernels_baseline.json")
-        _dump(rows, baseline_path, mode="smoke")
+        _dump(rows, baseline_path, mode="smoke", lossy=lossy)
         print(f"[bench-kernels] baseline -> {baseline_path}")
-        _print_rows(rows)
+        _print_rows(rows, lossy=lossy)
         return 0
     if args.smoke:
         return run_smoke()
     rows = kernel_comparison()
-    _dump(rows, os.path.join(RESULTS_DIR, "BENCH_kernels.json"), mode="full")
-    _print_rows(rows)
+    lossy = lossy_comparison(rounds=FULL_ROUNDS[LOSSY_N])
+    _dump(rows, os.path.join(RESULTS_DIR, "BENCH_kernels.json"),
+          mode="full", lossy=lossy)
+    _print_rows(rows, lossy=lossy)
     return 0
 
 

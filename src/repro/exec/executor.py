@@ -280,15 +280,17 @@ class ParallelExecutor:
         for idx in by_key[key]:
             results[idx] = row
         # Profiled trials carry wall-clock phase.* columns and engine.*
-        # tier counts — not deterministic row data (the tier split is an
-        # implementation observable that may change across engine
-        # versions), so they stay in the in-memory rows but never enter
-        # the journal or the content-addressed cache (which promise
-        # identical rows for identical (spec, seed)).
-        durable = row
-        if any(k.startswith(("phase.", "engine.")) for k in row):
-            durable = {k: v for k, v in row.items()
-                       if not k.startswith(("phase.", "engine."))}
+        # tier counts; recorded trials carry obs.* event counters and
+        # cache.* hit/miss counters.  None of that is deterministic row
+        # data (the tier split and cache behaviour are implementation
+        # observables that may change across engine versions, and
+        # recording is a run-mode choice), so it stays in the in-memory
+        # rows but never enters the journal or the content-addressed
+        # cache — which promise identical rows for identical
+        # (spec, seed), however the row was produced.
+        from ..harness.runner import durable_row
+
+        durable = durable_row(row)
         self._journal(key, durable)
         if cacheable and self.cache is not None:
             self.cache.put(key, durable)

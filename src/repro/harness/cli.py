@@ -29,10 +29,35 @@ import time
 from typing import List, Optional
 
 from ..exec.executor import ExecOptions
+from ..simnet.backends import available_engines, registered_backends
 from .experiments import EXPERIMENTS, run_experiment, run_f1, run_f5, run_t1
 from .io import save_experiment
 
-__all__ = ["main"]
+__all__ = ["main", "render_engine_list"]
+
+
+def render_engine_list() -> str:
+    """The registered engine backends, one line each (``--list-engines``).
+
+    Lists the selection aliases first, then every registered backend
+    with its negotiation priority and the capability flags it declares
+    (see ``docs/ENGINES.md``); third-party backends added through
+    :func:`repro.simnet.backends.register_backend` appear automatically.
+    """
+    lines = ["engines: " + " ".join(available_engines())]
+    for backend in registered_backends():
+        info = backend.describe()
+        supports = list(info["supports"])
+        tags = []
+        if info["auto"]:
+            tags.append("auto")
+        if info["overlay"]:
+            tags.append("overlay")
+        tag_text = f" [{', '.join(tags)}]" if tags else ""
+        lines.append(
+            f"  {info['name']:<12} priority={info['priority']:<3}{tag_text} "
+            f"supports: {', '.join(supports) if supports else '(none)'}")
+    return "\n".join(lines)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -70,11 +95,16 @@ def _parser() -> argparse.ArgumentParser:
                              "fast / reference) and print an aggregate "
                              "after each experiment")
     parser.add_argument("--engine", default=None,
-                        choices=("fast", "fast-nobatch", "reference"),
+                        choices=available_engines(),
                         help="engine for every simulator the experiments "
                              "construct (default: fast, with batch-kernel "
                              "dispatch; all choices produce identical "
-                             "results)")
+                             "results; registered backends appear "
+                             "automatically — see --list-engines)")
+    parser.add_argument("--list-engines", action="store_true",
+                        help="list the registered engine backends with "
+                             "their priorities and capability flags, "
+                             "then exit")
     parser.add_argument("--events", default=None, metavar="DIR",
                         help="record schema-validated JSONL event streams "
                              "(one trial-*.jsonl per trial) under DIR and "
@@ -130,6 +160,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for exp_id in EXPERIMENTS:
             print(exp_id)
+        return 0
+    if args.list_engines:
+        print(render_engine_list())
         return 0
     if args.claims:
         from .claims import check_claims, render_claims

@@ -964,29 +964,43 @@ def run_x2(quick: bool = False, *,
     for loss in losses:
         stab_rounds, stab_ok = [], []
         kb_ok = []
+        tier_rounds = {"batch": 0, "fast": 0, "reference": 0}
         for seed in seeds:
             sched = _lowdiam_schedule(n, T, seed)
             d = dynamic_diameter(sched)
             nodes = [ExactCount(i) for i in range(n)]
-            res = _Sim(sched, nodes, rng=RngRegistry(seed + 10),
-                       loss_rate=loss).run(
+            sim = _Sim(sched, nodes, rng=RngRegistry(seed + 10),
+                       loss_rate=loss)
+            res = sim.run(
                 max_rounds=200 * n + 8000, until="quiescent",
                 quiescence_window=max(96, n))
             stab_rounds.append(res.metrics.last_decision_round)
             stab_ok.append(all(v == n for v in res.outputs.values()))
+            for tier, count in sim._tier_rounds.items():
+                tier_rounds[tier] = tier_rounds.get(tier, 0) + count
 
             from ..core.exact_count import ExactCountKnownBound
             nodes_kb = [ExactCountKnownBound(i, rounds_bound=2 * d)
                         for i in range(n)]
-            res_kb = _Sim(sched, nodes_kb, rng=RngRegistry(seed + 10),
-                          loss_rate=loss).run(max_rounds=2 * d + 1)
-            kb_ok.append(all(v == n for v in res_kb.outputs.values()))
+            sim_kb = _Sim(sched, nodes_kb, rng=RngRegistry(seed + 10),
+                          loss_rate=loss)
+            kb_ok.append(all(
+                v == n
+                for v in sim_kb.run(max_rounds=2 * d + 1).outputs.values()))
+            for tier, count in sim_kb._tier_rounds.items():
+                tier_rounds[tier] = tier_rounds.get(tier, 0) + count
         result.rows.append({
             "loss_rate": loss,
             "stabilizing_rounds": summarize(
                 [float(v) for v in stab_rounds]).mean,
             "stabilizing_correct": all(stab_ok),
             "known_bound_2d_correct": all(kb_ok),
+            # Which dispatch tier executed the rounds behind this row —
+            # the loss-capable batch kernels should carry the lossy load
+            # (summed over both algorithm variants and all seeds).
+            "batch_rounds": tier_rounds["batch"],
+            "fast_rounds": tier_rounds["fast"],
+            "reference_rounds": tier_rounds["reference"],
         })
     result.tables["x2"] = render_table(
         result.rows, title=f"X2 — message loss (N={n}, T={T})")

@@ -17,19 +17,29 @@ from typing import Any, Dict, List
 
 from ..analysis.tables import rows_to_csv
 from .experiments import ExperimentResult
+from .runner import durable_row
 
 __all__ = ["save_experiment", "load_rows"]
 
 
 def save_experiment(result: ExperimentResult, results_dir: str) -> str:
-    """Write the experiment's artefacts; returns the experiment directory."""
+    """Write the experiment's artefacts; returns the experiment directory.
+
+    Telemetry columns (``phase.*`` timings, ``engine.*`` tier splits,
+    ``obs.*`` / ``cache.*`` counters — see
+    :data:`repro.harness.runner.NONDURABLE_ROW_PREFIXES`) are stripped
+    before persisting, so artefacts — and the generated documents
+    checked by ``harness.report --check`` — are identical whether the
+    rows came from a fresh profiled/recorded run or a cache hit.
+    """
     exp_dir = os.path.join(results_dir, result.exp_id.lower())
     os.makedirs(exp_dir, exist_ok=True)
+    rows = [durable_row(row) for row in result.rows]
     with open(os.path.join(exp_dir, "rows.csv"), "w") as fh:
-        fh.write(rows_to_csv(result.rows))
+        fh.write(rows_to_csv(rows))
     with open(os.path.join(exp_dir, "rows.json"), "w") as fh:
         json.dump({"exp_id": result.exp_id, "title": result.title,
-                   "rows": result.rows}, fh, indent=2, default=str)
+                   "rows": rows}, fh, indent=2, default=str)
     with open(os.path.join(exp_dir, "report.txt"), "w") as fh:
         fh.write(result.render() + "\n")
     return exp_dir

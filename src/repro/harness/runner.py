@@ -30,7 +30,31 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 __all__ = ["TrialConfig", "TrialResult", "run_trial", "run_replicates",
            "record_phase_seconds", "phase_totals", "reset_phase_totals",
-           "record_engine_stats", "engine_totals", "reset_engine_totals"]
+           "record_engine_stats", "engine_totals", "reset_engine_totals",
+           "NONDURABLE_ROW_PREFIXES", "durable_row"]
+
+#: Row-column prefixes that are run-mode telemetry, not measured data:
+#: wall-clock ``phase.*`` timings, ``engine.*`` dispatch-tier round
+#: splits, ``obs.*`` event-stream counters, and ``cache.*`` hit/miss
+#: counters.  The executor strips them before a row enters the journal
+#: or the content-addressed result cache, and ``save_experiment``
+#: strips them from persisted artefacts, so a cache-hit rerun and a
+#: fresh (profiled or recorded) run produce byte-identical artefacts —
+#: the equality ``harness.report --check`` relies on.
+NONDURABLE_ROW_PREFIXES = ("phase.", "engine.", "obs.", "cache.")
+
+
+def durable_row(row: Mapping[str, Any]) -> Dict[str, Any]:
+    """*row* without telemetry columns (the same object when clean).
+
+    Strips every :data:`NONDURABLE_ROW_PREFIXES` column; rows that carry
+    none are returned as-is (no copy) so the common unprofiled,
+    unrecorded path stays allocation-free.
+    """
+    if any(key.startswith(NONDURABLE_ROW_PREFIXES) for key in row):
+        return {key: value for key, value in row.items()
+                if not key.startswith(NONDURABLE_ROW_PREFIXES)}
+    return row if isinstance(row, dict) else dict(row)
 
 # Process-wide accumulation of per-phase engine timings (profiled runs
 # only).  Every profiled trial executed in this process feeds it via
@@ -166,6 +190,8 @@ class TrialResult:
     counters: Dict[str, int]
     phase_seconds: Optional[Dict[str, float]] = None
     engine_stats: Optional[Dict[str, int]] = None
+    obs_counters: Optional[Dict[str, int]] = None
+    cache_counters: Optional[Dict[str, int]] = None
 
     def as_row(self, **extra: Any) -> Dict[str, Any]:
         """Flatten to a results row, merging experiment parameters."""
@@ -185,6 +211,12 @@ class TrialResult:
         if self.engine_stats is not None:
             for tier, rounds in sorted(self.engine_stats.items()):
                 row[f"engine.{tier}_rounds"] = rounds
+        if self.obs_counters is not None:
+            for kind, count in sorted(self.obs_counters.items()):
+                row[f"obs.{kind}"] = count
+        if self.cache_counters is not None:
+            for name, count in sorted(self.cache_counters.items()):
+                row[f"cache.{name}"] = count
         row.update(extra)
         return row
 
@@ -226,7 +258,11 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
     :mod:`repro.obs`), the trial additionally writes a schema-validated
     ``trial-*.jsonl`` event stream there, headed by a provenance
     record.  Recording never changes the measured results — the engine
-    guarantees recorded and unrecorded runs are bit-identical.
+    guarantees recorded and unrecorded runs are bit-identical.  Recorded
+    results additionally carry ``obs.*`` event counters and ``cache.*``
+    hit/miss counters; like ``phase.*`` / ``engine.*`` these are
+    telemetry, stripped wherever rows are persisted (see
+    :func:`durable_row`).
     """
     label = spec_key = ""
     if not isinstance(config, TrialConfig):
@@ -255,6 +291,8 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
     finally:
         if recorder is not None:
             recorder.close()
+    obs_counters = recorder.summary() if recorder is not None else None
+    cache_counters = sim.cache_stats() if recorder is not None else None
     correct: Optional[bool] = None
     if config.oracle is not None:
         correct = bool(config.oracle(result.outputs, schedule))
@@ -277,6 +315,8 @@ def run_trial(config: TrialLike, seed: int) -> TrialResult:
                        if result.metrics.phase_seconds is not None else None),
         engine_stats=(dict(result.metrics.engine_stats)
                       if result.metrics.engine_stats is not None else None),
+        obs_counters=obs_counters,
+        cache_counters=cache_counters,
     )
 
 

@@ -161,6 +161,12 @@ class EngineTierEvent(Event):
     engine's own words — the strings the dispatch conditions produce,
     e.g. ``"population has no batch kernel"`` or ``"halt event
     deactivated the batch kernel"``.
+
+    ``declined`` is the structured form of ``reason``: a list of
+    capability diffs (``{"backend", "missing", "detail"}`` dicts, see
+    :meth:`repro.simnet.backends.base.CapabilityDiff.to_payload`), one
+    per backend the negotiator passed over — ``None`` when nothing was
+    declined.
     """
 
     kind = "engine_tier"
@@ -169,6 +175,7 @@ class EngineTierEvent(Event):
     tier: str
     action: str
     reason: str = ""
+    declined: Any = None
 
 
 @dataclass(frozen=True)

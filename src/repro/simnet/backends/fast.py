@@ -1,0 +1,345 @@
+"""The fast backend: vectorized per-node rounds over cached CSR adjacency.
+
+Observable-for-observable equivalent to the reference loops (same
+metrics, same trace event stream, same RNG consumption, same node
+callback order); the differences are purely mechanical — iteration over
+the incrementally-maintained active set instead of ``range(n)``, one
+reusable :class:`~repro.simnet.node.RoundContext` per node, CSR
+adjacency shared across stable T-interval windows, and live degrees
+computed vectorised.  Requires a schedule exposing ``adjacency()``;
+minimal :class:`~repro.simnet.engine.ScheduleLike` schedules negotiate
+down to the reference backend instead.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, List
+
+import numpy as np
+
+from ...errors import BandwidthExceededError
+from ..trace import TraceEvent
+from .base import Capabilities, EngineBackend
+
+__all__ = ["FastBackend", "run_fast_round"]
+
+
+def run_fast_round(sim: Any) -> None:
+    """One round via the vectorized fast path.
+
+    Body moved verbatim from the engine's historical
+    ``Simulator._step_fast``; see the module docstring for the
+    equivalence contract.
+    """
+    sim.round_index += 1
+    r = sim.round_index
+    nodes = sim.nodes
+    trace = sim.trace
+    prof = sim._phase_seconds
+    metrics = sim.metrics
+    if trace is not None:
+        trace.record(TraceEvent(r, "round", None))
+
+    active = sim._active
+    payloads = sim._payloads
+    contexts = sim._contexts
+    halted_mask = sim._halted_mask
+
+    # Phase 1: compose (graph not yet revealed to nodes).
+    t0 = perf_counter() if prof is not None else 0.0
+    senders: List[int] = []
+    halted_in_compose = False
+    for i in active:
+        node = nodes[i]
+        ctx = contexts[i]
+        ctx.round_index = r
+        payload = node.compose(ctx)
+        payloads[i] = payload
+        if payload is not None:
+            senders.append(i)
+        if node._halted:
+            halted_mask[i] = True
+            halted_in_compose = True
+    if halted_in_compose:
+        sim._any_halted = True
+
+    # Phase 2: reveal the round's graph and account for transmissions.
+    if prof is not None:
+        t1 = perf_counter()
+        prof["compose"] += t1 - t0
+        t0 = t1
+    csr = sim.schedule.adjacency(r)
+    if (prof is None and trace is None and sim.recorder is None
+            and not (sim.strict_bandwidth
+                     and sim.bandwidth_bits is not None)):
+        # Steady-state fused loop: phases 2-4 in one pass (see
+        # _finish_round_fused for why the results are identical).
+        # A recorder routes through the split phases like profiling
+        # does, so its payload-bits cache tally sees every lookup.
+        _finish_round_fused(sim, r, csr, senders, halted_in_compose)
+        return
+    if not sim._any_halted:
+        live: List[int] = csr.degree_list()
+    else:
+        # live[i] = #non-halted neighbours of i, via a prefix sum over
+        # the CSR (reduceat mis-handles empty neighbour runs).
+        alive = ~halted_mask
+        cum = np.zeros(len(csr.indices) + 1, dtype=np.int64)
+        np.cumsum(alive[csr.indices], out=cum[1:])
+        live = (cum[csr.indptr[1:]] - cum[csr.indptr[:-1]]).tolist()
+    bandwidth_bits = sim.bandwidth_bits
+    on_broadcast = metrics.on_broadcast
+    for i in senders:
+        payload = payloads[i]
+        bits = sim._payload_bits(payload)
+        if bandwidth_bits is not None and bits > bandwidth_bits:
+            if sim.strict_bandwidth:
+                raise BandwidthExceededError(
+                    f"node {nodes[i].node_id} composed a {bits}-bit "
+                    f"message; budget is {bandwidth_bits} bits",
+                    node_id=nodes[i].node_id, bits=bits,
+                    limit=bandwidth_bits,
+                )
+            metrics.incr("bandwidth_overflows")
+        on_broadcast(bits, live[i])
+        if trace is not None:
+            trace.record(TraceEvent(r, "broadcast", nodes[i].node_id, payload))
+
+    # Phase 3: deliver inboxes.
+    if prof is not None:
+        t1 = perf_counter()
+        prof["reveal"] += t1 - t0
+        t0 = t1
+    sendable = sim._sendable
+    for i in senders:
+        if not halted_mask[i]:
+            sendable[i] = True
+    # When every node is live and broadcast, skip the per-neighbour
+    # sendability filter entirely (the common steady state).
+    all_send = not sim._any_halted and len(senders) == len(active)
+    nlists = csr.neighbor_lists()
+    loss_rng = sim._loss_rng
+    loss_rate = sim.loss_rate
+    all_changed_false = True
+    delivered: List[int] = []
+    for j in active:
+        if halted_mask[j]:
+            continue  # halted during this round's compose
+        nbrs = nlists[j]
+        if all_send:
+            inbox = [payloads[k] for k in nbrs]
+        else:
+            inbox = [payloads[k] for k in nbrs if sendable[k]]
+        if loss_rng is not None and inbox:
+            kept = loss_rng.random(len(inbox)) >= loss_rate
+            dropped = len(inbox) - int(kept.sum())
+            if dropped:
+                metrics.incr("messages_lost", dropped)
+                inbox = [m for m, keep in zip(inbox, kept) if keep]
+        node = nodes[j]
+        node.deliver(contexts[j], inbox)
+        if node._state_changed:
+            all_changed_false = False
+        delivered.append(j)
+    for i in senders:
+        sendable[i] = False
+
+    # Phase 4: drain decision events.  Deliveries record no trace
+    # events themselves, so draining after the delivery loop yields
+    # the same event stream as the reference's interleaved drain.
+    if prof is not None:
+        t1 = perf_counter()
+        prof["deliver"] += t1 - t0
+        t0 = t1
+    on_decision = metrics.on_decision
+    halted_in_deliver = False
+    for j in delivered:
+        node = nodes[j]
+        events = node._events
+        if not events:
+            continue
+        node._events = []
+        node_id = node.node_id
+        for event in events:
+            kind = event[0]
+            if kind == "decide":
+                on_decision(node_id, r)
+                if trace is not None:
+                    trace.record(TraceEvent(r, "decide", node_id, event[1]))
+            elif kind == "retract":
+                metrics.on_retraction(node_id)
+                if trace is not None:
+                    trace.record(TraceEvent(r, "retract", node_id))
+            elif kind == "halt":
+                halted_mask[j] = True
+                halted_in_deliver = True
+                if trace is not None:
+                    trace.record(TraceEvent(r, "halt", node_id))
+    if prof is not None:
+        prof["drain"] += perf_counter() - t0
+
+    if halted_in_compose or halted_in_deliver:
+        sim._any_halted = True
+        sim._active = [i for i in active if not halted_mask[i]]
+
+    sim._quiescent_streak = (
+        sim._quiescent_streak + 1 if all_changed_false else 0
+    )
+    metrics.on_round_executed()
+
+
+def _finish_round_fused(sim: Any, r: int, csr: Any, senders: List[int],
+                        halted_in_compose: bool) -> None:
+    """Phases 2-4 of :func:`run_fast_round` fused into one active-set pass.
+
+    Valid only without tracing, profiling, or strict bandwidth: the
+    per-(node, round) metric updates are commutative sums, the loss
+    RNG is drawn only in the delivery phase (so interleaving the
+    accounting does not perturb the stream), and per-node drain order
+    is preserved — hence the final :class:`~repro.simnet.metrics.RunMetrics`
+    are identical to the split-phase loops, which remain in use whenever
+    phase boundaries are observable (trace events, per-phase timings, or
+    a mid-phase :class:`~repro.errors.BandwidthExceededError`).
+    """
+    nodes = sim.nodes
+    metrics = sim.metrics
+    payloads = sim._payloads
+    contexts = sim._contexts
+    halted_mask = sim._halted_mask
+    active = sim._active
+    if not sim._any_halted:
+        live: List[int] = csr.degree_list()
+    else:
+        alive = ~halted_mask
+        cum = np.zeros(len(csr.indices) + 1, dtype=np.int64)
+        np.cumsum(alive[csr.indices], out=cum[1:])
+        live = (cum[csr.indptr[1:]] - cum[csr.indptr[:-1]]).tolist()
+    sendable = sim._sendable
+    all_send = not sim._any_halted and len(senders) == len(active)
+    if all_send:
+        # Every neighbour's payload is delivered: gather the flat
+        # CSR-ordered payload list in one C-level pass, then each
+        # node's inbox is a plain slice of it.
+        flat_inbox = list(map(payloads.__getitem__, csr.indices_list()))
+        bounds = csr.indptr_list()
+        nlists = None
+    else:
+        for i in senders:
+            if not halted_mask[i]:
+                sendable[i] = True
+        flat_inbox = bounds = None
+        nlists = csr.neighbor_lists()
+    loss_rng = sim._loss_rng
+    loss_rate = sim.loss_rate
+    bandwidth_bits = sim.bandwidth_bits
+    # When on_broadcast has not been overridden on the instance, the
+    # per-sender sums are accumulated in locals and flushed once per
+    # round — same totals, ~N fewer calls per round.
+    aggregate = "on_broadcast" not in metrics.__dict__
+    on_broadcast = metrics.on_broadcast
+    on_decision = metrics.on_decision
+    bits_cache = sim._bits_cache
+    n_bcast = sum_bits = n_msgs = sum_dbits = max_bits = 0
+    prev_payload = prev_bits = None
+    all_changed_false = True
+    halted_in_deliver = False
+    for j in active:
+        payload = payloads[j]
+        if payload is not None:
+            # Converged protocols broadcast one shared object from
+            # every node; the single-entry memo short-circuits the
+            # per-sender cache lookup in that steady state.
+            if payload is prev_payload:
+                bits = prev_bits
+            else:
+                entry = bits_cache.get(id(payload))
+                if entry is not None and entry[0] is payload:
+                    bits = entry[1]
+                else:
+                    bits = sim._payload_bits(payload)
+                prev_payload, prev_bits = payload, bits
+            if bandwidth_bits is not None and bits > bandwidth_bits:
+                metrics.incr("bandwidth_overflows")
+            if aggregate:
+                degree = live[j]
+                n_bcast += 1
+                n_msgs += degree
+                sum_bits += bits
+                sum_dbits += bits * degree
+                if bits > max_bits:
+                    max_bits = bits
+            else:
+                on_broadcast(bits, live[j])
+        if halted_in_compose and halted_mask[j]:
+            continue  # halted during this round's compose
+        if all_send:
+            inbox = flat_inbox[bounds[j]:bounds[j + 1]]
+        else:
+            inbox = [payloads[k] for k in nlists[j] if sendable[k]]
+        if loss_rng is not None and inbox:
+            kept = loss_rng.random(len(inbox)) >= loss_rate
+            dropped = len(inbox) - int(kept.sum())
+            if dropped:
+                metrics.incr("messages_lost", dropped)
+                inbox = [m for m, keep in zip(inbox, kept) if keep]
+        node = nodes[j]
+        node.deliver(contexts[j], inbox)
+        if node._state_changed:
+            all_changed_false = False
+        events = node._events
+        if events:
+            node._events = []
+            node_id = node.node_id
+            for event in events:
+                kind = event[0]
+                if kind == "decide":
+                    on_decision(node_id, r)
+                elif kind == "retract":
+                    metrics.on_retraction(node_id)
+                else:  # halt
+                    halted_mask[j] = True
+                    halted_in_deliver = True
+    if not all_send:
+        for i in senders:
+            sendable[i] = False
+    if aggregate and n_bcast:
+        metrics.broadcasts += n_bcast
+        metrics.delivered_messages += n_msgs
+        metrics.broadcast_bits += sum_bits
+        metrics.delivered_bits += sum_dbits
+        if max_bits > metrics.max_broadcast_bits:
+            metrics.max_broadcast_bits = max_bits
+
+    if halted_in_compose or halted_in_deliver:
+        sim._any_halted = True
+        sim._active = [i for i in active if not halted_mask[i]]
+
+    sim._quiescent_streak = (
+        sim._quiescent_streak + 1 if all_changed_false else 0
+    )
+    metrics.on_round_executed()
+
+
+class FastBackend(EngineBackend):
+    """Vectorized per-node rounds; needs the schedule's CSR adjacency."""
+
+    name = "fast"
+    priority = 20
+    auto_negotiate = True
+    capabilities = Capabilities(
+        loss=True,
+        trace=True,
+        stop_when=True,
+        strict_bandwidth=True,
+        mixed_population=True,
+        adaptive_schedule=True,
+        pre_halted=True,
+        mid_run_halt=True,
+        custom_metrics=True,
+        recorder=True,
+        adjacency_free=False,
+    )
+
+    def run_round(self, sim: Any) -> None:
+        run_fast_round(sim)

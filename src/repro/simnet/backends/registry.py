@@ -1,0 +1,188 @@
+"""Process-wide backend registry and the capability negotiator.
+
+:func:`register_backend` makes a new execution tier available to every
+:class:`~repro.simnet.engine.Simulator` in the process — by name through
+``Simulator(engine=...)`` and the CLIs' ``--engine`` flag, and (when the
+backend opts in with ``auto_negotiate=True``) through the default
+negotiation chain as well.  The built-in tiers (batch kernels, the
+vectorized fast path, the reference loops) register themselves when
+:mod:`repro.simnet.backends` is imported.
+
+:func:`negotiate` turns an engine request plus the run's *requirements*
+into an ordered candidate list and, for every backend passed over, a
+structured :class:`~repro.simnet.backends.base.CapabilityDiff` — the
+single source of "which tier runs and why not the others" that the
+engine surfaces through ``engine_tier`` observability events.
+
+Engine aliases
+--------------
+``"fast"`` (the default) negotiates the full auto chain in priority
+order; ``"fast-nobatch"`` is the same chain with the batch overlay
+excluded; ``"reference"`` pins the reference loops.  A registered
+backend's own name pins that backend, with the non-overlay built-in
+chain kept as capable fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..._validate import require_choice
+from ...errors import ConfigurationError
+from .base import CapabilityDiff, EngineBackend, missing_requirements
+
+__all__ = [
+    "ENGINE_ALIASES",
+    "Negotiation",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "registered_backends",
+    "available_engines",
+    "negotiate",
+]
+
+#: Engine names that select a negotiation *strategy* rather than a
+#: single backend.  ``"reference"`` doubles as the reference backend's
+#: registry name.
+ENGINE_ALIASES: Tuple[str, ...] = ("fast", "fast-nobatch", "reference")
+
+_REGISTRY: Dict[str, EngineBackend] = {}
+
+
+def register_backend(backend: EngineBackend, *,
+                     replace: bool = False) -> EngineBackend:
+    """Register *backend* process-wide; returns it for chaining.
+
+    The name must be non-empty and, unless *replace* is given, unused;
+    ``"fast-nobatch"`` is reserved (it is a negotiation alias, not a
+    backend).
+    """
+    name = backend.name
+    if not name:
+        raise ConfigurationError("backend must declare a non-empty name")
+    if name == "fast-nobatch":
+        raise ConfigurationError(
+            'backend name "fast-nobatch" is reserved (negotiation alias)')
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered "
+            f"(pass replace=True to override)")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up a backend by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no engine backend named {name!r} is registered "
+            f"(registered: {sorted(_REGISTRY)})") from None
+
+
+def registered_backends() -> Tuple[EngineBackend, ...]:
+    """All registered backends, highest negotiation priority first."""
+    return tuple(sorted(_REGISTRY.values(),
+                        key=lambda b: (-b.priority, b.name)))
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Every name ``Simulator(engine=...)`` accepts: aliases + backends."""
+    names = list(ENGINE_ALIASES)
+    names.extend(b.name for b in registered_backends()
+                 if b.name not in names)
+    return tuple(names)
+
+
+@dataclass
+class Negotiation:
+    """Outcome of static capability negotiation for one simulator.
+
+    ``candidates`` are the statically capable backends in engagement
+    order (overlay tiers first); ``declined`` records one structured
+    diff per backend passed over.  Dynamic (per-``run()``) declines are
+    appended by the engine when the run's requirements are known.
+    """
+
+    engine: str
+    candidates: List[EngineBackend] = field(default_factory=list)
+    declined: List[CapabilityDiff] = field(default_factory=list)
+
+    @property
+    def base(self) -> EngineBackend:
+        """The first persistent (non-overlay) candidate."""
+        for backend in self.candidates:
+            if not backend.overlay:
+                return backend
+        raise ConfigurationError(
+            f"engine {self.engine!r} negotiation produced no persistent "
+            f"backend (candidates: {[b.name for b in self.candidates]})")
+
+
+def _chain_for(engine: str, batch_kernels: bool
+               ) -> Tuple[List[EngineBackend], List[CapabilityDiff]]:
+    """The pre-capability candidate chain an engine request implies."""
+    ordered = registered_backends()
+    pinned: List[CapabilityDiff] = []
+    if engine == "fast":
+        chain = [b for b in ordered if b.auto_negotiate]
+    elif engine == "fast-nobatch":
+        chain = [b for b in ordered if b.auto_negotiate and not b.overlay]
+        pinned = [CapabilityDiff(backend=b.name,
+                                 detail="batch kernels disabled")
+                  for b in ordered if b.auto_negotiate and b.overlay]
+    elif engine == "reference":
+        chain = [get_backend("reference")]
+        pinned = [CapabilityDiff(backend=b.name, detail=f"engine={engine!r}")
+                  for b in ordered if b.auto_negotiate and b.name != engine]
+    else:
+        named = get_backend(engine)
+        # A pinned backend leads; the persistent built-in chain stays as
+        # capable fallbacks so an ineligible run still executes.
+        chain = [named] + [b for b in ordered
+                           if b.auto_negotiate and not b.overlay
+                           and b.name != engine]
+    if not batch_kernels:
+        dropped = [b for b in chain if b.overlay]
+        chain = [b for b in chain if not b.overlay]
+        pinned.extend(CapabilityDiff(backend=b.name,
+                                     detail="batch kernels disabled")
+                      for b in dropped)
+    return chain, pinned
+
+
+def negotiate(engine: str, requirements: Mapping[str, str], *,
+              batch_kernels: bool = True) -> Negotiation:
+    """Match an engine request against the run's static requirements.
+
+    *requirements* maps requirement name (see
+    :data:`~repro.simnet.backends.base.REQUIREMENT_FIELDS`) to a
+    human-readable description.  Backends whose capabilities do not
+    serve every requirement are declined with a structured diff; the
+    survivors become the candidate chain, tried in order when ``run()``
+    starts.
+    """
+    require_choice(engine, "engine", available_engines())
+    chain, declined = _chain_for(engine, batch_kernels)
+    result = Negotiation(engine=engine, declined=declined)
+    for backend in chain:
+        missing = missing_requirements(backend.capabilities, requirements)
+        if missing:
+            result.declined.append(
+                CapabilityDiff(backend=backend.name, missing=missing))
+        else:
+            result.candidates.append(backend)
+    if not any(not b.overlay for b in result.candidates):
+        posed = "; ".join(requirements.values()) or "none"
+        raise ConfigurationError(
+            f"no registered engine backend can serve this run "
+            f"(engine={engine!r}, requirements: {posed})")
+    return result

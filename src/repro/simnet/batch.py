@@ -1,54 +1,35 @@
-"""Batched algorithm kernels: struct-of-arrays state, CSR segment-reduce delivery.
+"""Compatibility shim: the batch-kernel tier moved to the backends package.
 
-The engine's per-node fast path (see :mod:`repro.simnet.engine`) still
-makes one Python ``compose()`` and one ``deliver()`` call per active node
-per round, so for the aggregate-style algorithms the *algorithm layer*
-dominates at large ``N``.  Their per-round updates, however, are
-associative reductions over neighbour payloads — max, boolean OR, set
-union, coordinate-wise min — which evaluate in one shot as NumPy
-segment-reduces over the CSR adjacency the fast engine already caches.
-
-This module defines the opt-in **batch kernel protocol**:
-
-* an algorithm class exposes a classmethod hook ``__batch_kernel__(nodes,
-  id_bits=...)`` returning a :class:`BatchKernel` (or ``None`` when the
-  concrete node population is not eligible — heterogeneous bounds,
-  exotic state types, subclasses with overridden semantics);
-* the kernel holds the whole population's state as struct-of-arrays
-  (values, bitsets, sketch matrices, decided flags, quiescence windows)
-  and implements ``compose``/``deliver`` over the entire active set;
-* the engine (``Simulator.run``) dispatches to the kernel when eligible,
-  reconciles decisions/halts/metrics from the returned arrays, and calls
-  :meth:`BatchKernel.finalize` to write the state back into the node
-  objects before anything else can observe them.
-
-Equivalence contract
---------------------
-A kernel must be *bit-for-bit* equivalent to running the per-node
-``compose``/``deliver`` fold: same per-round changed flags (quiescence),
-same decide/retract/halt events with the same values, the same payload
-bit costs (:func:`repro.simnet.message.bit_size` of the per-node
-encoding), and the same per-node RNG consumption.  The three-way golden
-grid in ``tests/test_fastpath_equivalence.py`` and the fold-matching
-property tests in ``tests/test_batch_kernels.py`` enforce this.
-
-Segment reduction over CSR
---------------------------
-``np.ufunc.reduceat(data, indptr[:-1])`` mishandles empty segments (it
-returns ``data[start]`` for them), so :func:`segment_reduce` passes only
-the *non-empty* starts: consecutive non-empty starts span the empty
-segments between them correctly, and the results scatter back through
-the non-empty mask while empty segments keep the receiver's own state —
-exactly the semantics of a node with an empty inbox.
+The kernel protocol, the concrete kernels, and the numeric helpers now
+live in :mod:`repro.simnet.backends.batch`, where the batch tier is one
+pluggable :class:`~repro.simnet.backends.base.EngineBackend` among the
+registered execution tiers.  This module re-exports the public surface
+so existing ``from repro.simnet.batch import ...`` imports (algorithm
+hooks, tests, downstream code) keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from .message import bit_size
+from .backends.batch import (  # noqa: F401
+    Events,
+    _INT_SENTINEL,
+    BatchContext,
+    BatchKernel,
+    BatchQuiescence,
+    FloodBroadcastBatchKernel,
+    FloodMaxBatchKernel,
+    FloodTokenBatchKernel,
+    IdSetBatchKernel,
+    MaxBatchKernel,
+    MinVectorBatchKernel,
+    aggregate_batch_kernel,
+    build_batch_kernel,
+    describe_batch_ineligibility,
+    int_payload_bits,
+    popcount64,
+    segment_counts,
+    segment_reduce,
+)
 
 __all__ = [
     "BatchContext",
@@ -68,743 +49,3 @@ __all__ = [
     "FloodTokenBatchKernel",
     "FloodBroadcastBatchKernel",
 ]
-
-#: Events a kernel reports back: ``(kind, node_index, value)`` with kind
-#: one of ``"decide"`` / ``"retract"`` / ``"halt"`` (value ``None`` for
-#: the latter two), in ascending node-index order per kind.
-Events = List[Tuple[str, int, Any]]
-
-#: Sentinel for "no value" in int64 payload arrays; larger than any
-#: eligible real value (eligibility requires ``|v| < 2**62``).
-_INT_SENTINEL = np.int64(2 ** 62)
-
-_CONTAINER_FRAMING_BITS = 8  # matches repro.simnet.message
-
-
-# --------------------------------------------------------------------------
-# numeric helpers
-# --------------------------------------------------------------------------
-
-if hasattr(np, "bitwise_count"):  # numpy >= 2.0
-    def popcount64(x: np.ndarray) -> np.ndarray:
-        """Per-element population count of a uint64 array (int64 result)."""
-        return np.bitwise_count(x).astype(np.int64)
-else:  # pragma: no cover - exercised only on numpy < 2
-    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
-
-    def popcount64(x: np.ndarray) -> np.ndarray:
-        """Per-element population count of a uint64 array (int64 result)."""
-        flat = np.ascontiguousarray(x).view(np.uint8)
-        return _POP8[flat].reshape(x.shape + (8,)).sum(axis=-1)
-
-
-def int_payload_bits(values: np.ndarray) -> np.ndarray:
-    """Vectorised :func:`~repro.simnet.message.bit_size` for int payloads.
-
-    ``bit_size(int)`` is ``max(1, v.bit_length()) + 1``; Python's
-    ``bit_length`` of a negative int is that of its absolute value.  The
-    bit length is computed *exactly* via an OR-smear + popcount on the
-    uint64 view — float tricks (``frexp``/``log2``) are inexact near the
-    2**53 mantissa boundary and would silently mis-cost large payloads.
-    """
-    x = np.abs(values.astype(np.int64, copy=True)).astype(np.uint64)
-    for shift in (1, 2, 4, 8, 16, 32):
-        x |= x >> np.uint64(shift)
-    lengths = popcount64(x)
-    return np.maximum(lengths, 1) + 1
-
-
-def segment_reduce(ufunc: np.ufunc, data: np.ndarray, indptr: np.ndarray,
-                   out: np.ndarray) -> np.ndarray:
-    """Merge per-segment reductions of *data* into *out* (in place).
-
-    ``data`` holds one row per delivered message in receiver-grouped CSR
-    order; segment ``j`` is ``data[indptr[j]:indptr[j+1]]``.  ``out``
-    must be pre-initialised with each receiver's own state: non-empty
-    segments are reduced with *ufunc* and merged into the receiver's row
-    (again with *ufunc*), empty segments — empty inboxes — are left
-    untouched.
-    """
-    starts = indptr[:-1]
-    nonempty = indptr[1:] > starts
-    if not nonempty.any():
-        return out
-    reduced = ufunc.reduceat(data, starts[nonempty], axis=0)
-    out[nonempty] = ufunc(out[nonempty], reduced)
-    return out
-
-
-def segment_counts(values: np.ndarray, indptr: np.ndarray,
-                   indices: np.ndarray) -> np.ndarray:
-    """Per-receiver sum of ``values[sender]`` over its CSR neighbours.
-
-    Uses a prefix sum (cumsum is total, so empty segments need no
-    special-casing, unlike ``reduceat``).
-    """
-    cum = np.zeros(len(indices) + 1, dtype=np.int64)
-    np.cumsum(values[indices], out=cum[1:])
-    return cum[indptr[1:]] - cum[indptr[:-1]]
-
-
-# --------------------------------------------------------------------------
-# the protocol
-# --------------------------------------------------------------------------
-
-class BatchContext:
-    """Round information handed to a batch kernel by the engine.
-
-    Mirrors :class:`~repro.simnet.node.RoundContext` at the population
-    level: the 1-based ``round_index``, the per-node private generators
-    (``rngs[i]`` is node *i*'s stream — kernels must consume exactly the
-    draws the per-node path would, in ascending node order within a
-    round), and the run-level counter hook ``incr``.
-    """
-
-    __slots__ = ("round_index", "rngs", "incr")
-
-    def __init__(self, round_index: int,
-                 rngs: Sequence[np.random.Generator],
-                 incr: Callable[..., None]) -> None:
-        self.round_index = round_index
-        self.rngs = rngs
-        self.incr = incr
-
-
-class BatchKernel:
-    """Base class for whole-population round kernels.
-
-    Subclasses maintain struct-of-arrays state for all ``n`` nodes and
-    implement:
-
-    * :meth:`compose` — advance the compose phase for every node at
-      once, returning ``(sender_mask, bits)``: a boolean mask of nodes
-      that broadcast this round (``None`` means *everyone*) and an int64
-      array of per-node payload bit costs (read only at sender
-      positions), exactly matching ``bit_size(node.compose(ctx))``;
-    * :meth:`deliver` — fold every inbox via the CSR in one shot,
-      returning ``(changed_any, events)`` where ``changed_any`` mirrors
-      the engine's quiescence tracking (true iff any node's
-      ``mark_changed(True)``) and *events* reports the round's
-      decide/retract/halt lifecycle per node index;
-    * :meth:`finalize` — write the array state back into the node
-      objects (state, controller fields, changed flags), so that after
-      the engine leaves batch mode the nodes are indistinguishable from
-      having run the per-node path.
-
-    The ``decided`` attribute (bool array) must mirror
-    ``node._decided`` at all times — the engine's stop conditions read
-    it instead of touching the node objects.
-    """
-
-    decided: np.ndarray
-
-    def compose(self, ctx: BatchContext
-                ) -> Tuple[Optional[np.ndarray], np.ndarray]:
-        raise NotImplementedError
-
-    def deliver(self, ctx: BatchContext, csr: Any,
-                sender_mask: Optional[np.ndarray]) -> Tuple[bool, Events]:
-        raise NotImplementedError
-
-    def finalize(self, nodes: Sequence[Any]) -> None:
-        raise NotImplementedError
-
-
-def build_batch_kernel(nodes: Sequence[Any],
-                       id_bits: int = 32) -> Optional[BatchKernel]:
-    """Build a kernel for a homogeneous, eligible node population.
-
-    Returns ``None`` — and the engine transparently stays on the
-    per-node fast path — when the population is heterogeneous, any node
-    has already halted, the class exposes no ``__batch_kernel__`` hook,
-    or the hook itself declines (state it cannot represent exactly).
-    """
-    if not nodes:
-        return None
-    cls = type(nodes[0])
-    hook = getattr(cls, "__batch_kernel__", None)
-    if hook is None:
-        return None
-    for node in nodes:
-        if type(node) is not cls or node._halted:
-            return None
-    return hook(nodes, id_bits=id_bits)
-
-
-def describe_batch_ineligibility(nodes: Sequence[Any]) -> str:
-    """Why :func:`build_batch_kernel` returned ``None`` for *nodes*.
-
-    The observability layer surfaces this through
-    :class:`~repro.obs.events.EngineTierEvent` reasons, so "why didn't
-    the kernels engage?" is answerable from the event stream alone.
-    The checks mirror :func:`build_batch_kernel` exactly.
-    """
-    if not nodes:
-        return "empty node population"
-    cls = type(nodes[0])
-    if getattr(cls, "__batch_kernel__", None) is None:
-        return f"{cls.__name__} exposes no __batch_kernel__ hook"
-    for node in nodes:
-        if type(node) is not cls:
-            return (f"heterogeneous population "
-                    f"({cls.__name__} + {type(node).__name__})")
-        if node._halted:
-            return "population already contains halted nodes"
-    return (f"{cls.__name__}.__batch_kernel__ declined the population "
-            f"(state it cannot represent exactly)")
-
-
-# --------------------------------------------------------------------------
-# vectorised quiescence controller
-# --------------------------------------------------------------------------
-
-class BatchQuiescence:
-    """Struct-of-arrays mirror of per-node ``QuiescenceController`` state.
-
-    :meth:`observe` advances every node's controller one round and
-    returns the ``(decide, retract)`` verdict masks; the update rule is
-    the exact vectorisation of
-    :meth:`repro.core.termination.QuiescenceController.observe`.
-    """
-
-    __slots__ = ("growth", "window", "quiet", "holding", "retractions")
-
-    def __init__(self, controllers: Sequence[Any]) -> None:
-        self.growth = controllers[0].growth
-        self.window = np.array([c.window for c in controllers],
-                               dtype=np.int64)
-        self.quiet = np.array([c.quiet_streak for c in controllers],
-                              dtype=np.int64)
-        self.holding = np.array([c.holding for c in controllers], dtype=bool)
-        self.retractions = np.array([c.retraction_count for c in controllers],
-                                    dtype=np.int64)
-
-    @classmethod
-    def from_controllers(cls, controllers: Sequence[Any]
-                         ) -> "Optional[BatchQuiescence]":
-        growth = controllers[0].growth
-        if any(c.growth != growth for c in controllers):
-            return None
-        return cls(controllers)
-
-    def observe(self, changed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        retract = changed & self.holding
-        np.add(self.quiet, 1, out=self.quiet)
-        self.quiet[changed] = 0
-        self.holding &= ~changed
-        if retract.any():
-            self.retractions[retract] += 1
-            self.window[retract] *= self.growth
-        decide = ~changed & ~self.holding & (self.quiet >= self.window)
-        self.holding |= decide
-        return decide, retract
-
-    def restore(self, controllers: Sequence[Any]) -> None:
-        window = self.window.tolist()
-        quiet = self.quiet.tolist()
-        holding = self.holding.tolist()
-        retractions = self.retractions.tolist()
-        for i, controller in enumerate(controllers):
-            controller.window = window[i]
-            controller.quiet_streak = quiet[i]
-            controller.holding = holding[i]
-            controller.retraction_count = retractions[i]
-
-
-# --------------------------------------------------------------------------
-# aggregate-family kernels (SublinearMax / ExactCount / ApproxCount + the
-# *KnownBound halting variants)
-# --------------------------------------------------------------------------
-
-def _uniform_contributed(nodes: Sequence[Any]) -> Optional[bool]:
-    """All-or-nothing ``_contributed`` flag, or ``None`` when mixed."""
-    first = nodes[0]._contributed
-    if any(node._contributed is not first for node in nodes):
-        return None
-    return bool(first)
-
-
-class _AggregateKernel(BatchKernel):
-    """Common decide/retract/halt plumbing for aggregate-style kernels.
-
-    Subclasses supply the array representation: ``_contribute`` (first
-    compose — must draw from ``ctx.rngs`` in ascending node order),
-    ``_merge`` (one delivery fold, returns the per-node changed mask),
-    ``_bits`` (per-node payload cost), ``_output`` (decide value for one
-    node), and ``_restore_state`` (write node *i*'s state back).
-    """
-
-    def __init__(self, algs: Sequence[Any],
-                 controller: Optional[BatchQuiescence],
-                 rounds_bound: Optional[int]) -> None:
-        self._algs = list(algs)
-        self.n = len(algs)
-        self.name = type(algs[0]).name
-        self.controller = controller
-        self.rounds_bound = rounds_bound
-        self.decided = np.array([a._decided for a in algs], dtype=bool)
-        self.changed_last = np.array([a._state_changed for a in algs],
-                                     dtype=bool)
-        self._need_contribution = not algs[0]._contributed
-
-    # hooks ------------------------------------------------------------------
-    def _contribute(self, ctx: BatchContext) -> None:
-        raise NotImplementedError
-
-    def _merge(self, csr: Any) -> np.ndarray:
-        raise NotImplementedError
-
-    def _bits(self) -> np.ndarray:
-        raise NotImplementedError
-
-    def _output(self, i: int) -> Any:
-        raise NotImplementedError
-
-    def _restore_state(self, node: Any, i: int) -> None:
-        raise NotImplementedError
-
-    # protocol ---------------------------------------------------------------
-    def compose(self, ctx: BatchContext
-                ) -> Tuple[Optional[np.ndarray], np.ndarray]:
-        if self._need_contribution:
-            self._contribute(ctx)
-            self._need_contribution = False
-        return None, self._bits()
-
-    def deliver(self, ctx: BatchContext, csr: Any,
-                sender_mask: Optional[np.ndarray]) -> Tuple[bool, Events]:
-        changed = self._merge(csr)
-        self.changed_last = changed
-        events: Events = []
-        if self.controller is not None:
-            decide, retract = self.controller.observe(changed)
-            if retract.any():
-                # The per-node path bumps the counter on every retract
-                # verdict but emits the event only when actually decided.
-                ctx.incr(f"{self.name}.retractions", int(retract.sum()))
-                retract_ev = retract & self.decided
-                self.decided &= ~retract
-                for i in np.nonzero(retract_ev)[0].tolist():
-                    events.append(("retract", i, None))
-            decide &= ~self.decided
-            if decide.any():
-                self.decided |= decide
-                for i in np.nonzero(decide)[0].tolist():
-                    events.append(("decide", i, self._output(i)))
-        elif ctx.round_index >= self.rounds_bound:
-            for i in range(self.n):
-                events.append(("decide", i, self._output(i)))
-                events.append(("halt", i, None))
-            self.decided[:] = True
-        return bool(changed.any()), events
-
-    def finalize(self, nodes: Sequence[Any]) -> None:
-        changed = self.changed_last.tolist()
-        contributed = not self._need_contribution
-        for i, node in enumerate(nodes):
-            self._restore_state(node, i)
-            node._contributed = contributed
-            node._state_changed = changed[i]
-        if self.controller is not None:
-            self.controller.restore([node.controller for node in nodes])
-
-
-def _eligible_int(value: Any) -> bool:
-    """Exactly-int payloads the int64 kernels can cost and compare."""
-    return type(value) is int and -2 ** 62 < value < 2 ** 62
-
-
-class MaxBatchKernel(_AggregateKernel):
-    """Segment-max kernel for the ``MaxAggregate`` family (int values)."""
-
-    def __init__(self, algs, controller, rounds_bound,
-                 values: np.ndarray, state: Optional[np.ndarray]) -> None:
-        super().__init__(algs, controller, rounds_bound)
-        self._values = values
-        self._state = state
-
-    @classmethod
-    def build(cls, algs: Sequence[Any],
-              controller: Optional[BatchQuiescence],
-              rounds_bound: Optional[int]) -> "Optional[MaxBatchKernel]":
-        contributed = _uniform_contributed(algs)
-        if contributed is None:
-            return None
-        if not all(_eligible_int(a.value) for a in algs):
-            return None
-        values = np.array([a.value for a in algs], dtype=np.int64)
-        if contributed:
-            if not all(_eligible_int(a.state) for a in algs):
-                return None
-            state = np.array([a.state for a in algs], dtype=np.int64)
-        else:
-            if any(a.state is not None for a in algs):
-                return None
-            state = None
-        return cls(algs, controller, rounds_bound, values, state)
-
-    def _contribute(self, ctx: BatchContext) -> None:
-        # make_contribution returns self.value and draws nothing; the
-        # merge with the (None) initial state is the value itself.
-        self._state = self._values.copy()
-
-    def _merge(self, csr: Any) -> np.ndarray:
-        gathered = self._state[csr.indices]
-        new = self._state.copy()
-        segment_reduce(np.maximum, gathered, csr.indptr, new)
-        changed = new > self._state
-        self._state = new
-        return changed
-
-    def _bits(self) -> np.ndarray:
-        return int_payload_bits(self._state)
-
-    def _output(self, i: int) -> int:
-        return int(self._state[i])
-
-    def _restore_state(self, node: Any, i: int) -> None:
-        node.state = int(self._state[i]) if self._state is not None else None
-
-
-class IdSetBatchKernel(_AggregateKernel):
-    """uint64-bitset kernel for the id-set union family (exact Count)."""
-
-    def __init__(self, algs, controller, rounds_bound, id_bits: int,
-                 ids: List[int], rows: Optional[np.ndarray]) -> None:
-        super().__init__(algs, controller, rounds_bound)
-        self.id_bits = id_bits
-        self._ids = np.array(ids, dtype=np.int64)
-        self._rows = rows  # (n, W) uint64, None before contribution
-        self._words = (self.n + 63) // 64
-
-    @classmethod
-    def build(cls, algs: Sequence[Any],
-              controller: Optional[BatchQuiescence],
-              rounds_bound: Optional[int],
-              id_bits: int) -> "Optional[IdSetBatchKernel]":
-        contributed = _uniform_contributed(algs)
-        if contributed is None:
-            return None
-        ids = [a.node_id for a in algs]
-        pos = {node_id: k for k, node_id in enumerate(ids)}
-        n, words = len(algs), (len(algs) + 63) // 64
-        rows: Optional[np.ndarray] = None
-        if contributed:
-            rows = np.zeros((n, words), dtype=np.uint64)
-            for i, alg in enumerate(algs):
-                state = alg.state
-                if not isinstance(state, frozenset):
-                    return None
-                for member in state:
-                    k = pos.get(member)
-                    if k is None:  # id outside the population: bail
-                        return None
-                    rows[i, k >> 6] |= np.uint64(1) << np.uint64(k & 63)
-        elif any(a.state is not None for a in algs):
-            return None
-        return cls(algs, controller, rounds_bound, id_bits, ids, rows)
-
-    def _contribute(self, ctx: BatchContext) -> None:
-        rows = np.zeros((self.n, self._words), dtype=np.uint64)
-        k = np.arange(self.n)
-        rows[k, k >> 6] = np.uint64(1) << (k & 63).astype(np.uint64)
-        self._rows = rows
-
-    def _merge(self, csr: Any) -> np.ndarray:
-        gathered = self._rows[csr.indices]
-        new = self._rows.copy()
-        segment_reduce(np.bitwise_or, gathered, csr.indptr, new)
-        changed = (new != self._rows).any(axis=1)
-        self._rows = new
-        return changed
-
-    def _counts(self) -> np.ndarray:
-        return popcount64(self._rows).sum(axis=1)
-
-    def _bits(self) -> np.ndarray:
-        return _CONTAINER_FRAMING_BITS + self.id_bits * self._counts()
-
-    def _output(self, i: int) -> int:
-        return int(popcount64(self._rows[i]).sum())
-
-    def finalize(self, nodes: Sequence[Any]) -> None:
-        self._members = None
-        if self._rows is not None:
-            unpacked = np.unpackbits(
-                np.ascontiguousarray(self._rows).view(np.uint8),
-                bitorder="little").reshape(self.n, -1)
-            self._members = unpacked
-        super().finalize(nodes)
-
-    def _restore_state(self, node: Any, i: int) -> None:
-        if self._rows is None:
-            node.state = None
-            return
-        positions = np.nonzero(self._members[i][:self.n])[0]
-        node.state = frozenset(self._ids[positions].tolist())
-
-
-class MinVectorBatchKernel(_AggregateKernel):
-    """Coordinate-wise-minimum kernel for the sketch family (approx Count)."""
-
-    def __init__(self, algs, controller, rounds_bound,
-                 width: int, matrix: Optional[np.ndarray]) -> None:
-        super().__init__(algs, controller, rounds_bound)
-        self.width = width
-        self._matrix = matrix  # (n, width) float64, None before contribution
-
-    @classmethod
-    def build(cls, algs: Sequence[Any],
-              controller: Optional[BatchQuiescence],
-              rounds_bound: Optional[int]) -> "Optional[MinVectorBatchKernel]":
-        contributed = _uniform_contributed(algs)
-        if contributed is None:
-            return None
-        width = algs[0].aggregate.width
-        if any(a.aggregate.width != width for a in algs):
-            return None
-        matrix: Optional[np.ndarray] = None
-        if contributed:
-            states = [a.state for a in algs]
-            if any(not isinstance(s, np.ndarray) or s.shape != (width,)
-                   for s in states):
-                return None
-            matrix = np.array(states, dtype=np.float64)
-        elif any(a.state is not None for a in algs):
-            return None
-        return cls(algs, controller, rounds_bound, width, matrix)
-
-    def _contribute(self, ctx: BatchContext) -> None:
-        # One draw per node from its private stream, ascending node
-        # order — byte-identical RNG consumption to the per-node path.
-        rows = [alg.make_contribution(ctx.rngs[i])
-                for i, alg in enumerate(self._algs)]
-        self._matrix = np.array(rows, dtype=np.float64)
-
-    def _merge(self, csr: Any) -> np.ndarray:
-        gathered = self._matrix[csr.indices]
-        new = self._matrix.copy()
-        segment_reduce(np.minimum, gathered, csr.indptr, new)
-        changed = (new < self._matrix).any(axis=1)
-        self._matrix = new
-        return changed
-
-    def _bits(self) -> np.ndarray:
-        bits = _CONTAINER_FRAMING_BITS + 64 * self.width
-        return np.full(self.n, bits, dtype=np.int64)
-
-    def _output(self, i: int) -> float:
-        return self._algs[i].sketch.estimate(self._matrix[i])
-
-    def _restore_state(self, node: Any, i: int) -> None:
-        node.state = (self._matrix[i].copy()
-                      if self._matrix is not None else None)
-
-
-def aggregate_batch_kernel(build: Callable[..., Optional[BatchKernel]],
-                           nodes: Sequence[Any], *,
-                           known_bound: bool) -> Optional[BatchKernel]:
-    """Shared eligibility plumbing for the aggregate-family hooks.
-
-    *build* is a ``SomeKernel.build``-shaped callable taking
-    ``(nodes, controller, rounds_bound)``.  Stabilizing populations get a
-    :class:`BatchQuiescence` (bailing on mixed growth factors); halting
-    populations require a uniform ``rounds_bound`` — staggered halting
-    would break the kernels' all-alive invariant.
-    """
-    if known_bound:
-        bound = nodes[0].rounds_bound
-        if any(node.rounds_bound != bound for node in nodes):
-            return None
-        return build(nodes, None, bound)
-    controller = BatchQuiescence.from_controllers(
-        [node.controller for node in nodes])
-    if controller is None:
-        return None
-    return build(nodes, controller, None)
-
-
-# --------------------------------------------------------------------------
-# flooding kernels
-# --------------------------------------------------------------------------
-
-class FloodMaxBatchKernel(BatchKernel):
-    """Segment-max kernel for the known-bound flooding Max baseline."""
-
-    def __init__(self, algs: Sequence[Any], best: np.ndarray,
-                 rounds_bound: int) -> None:
-        self._algs = list(algs)
-        self.n = len(algs)
-        self.rounds_bound = rounds_bound
-        self._best = best
-        self.decided = np.array([a._decided for a in algs], dtype=bool)
-        self.changed_last = np.array([a._state_changed for a in algs],
-                                     dtype=bool)
-
-    @classmethod
-    def build(cls, algs: Sequence[Any]) -> "Optional[FloodMaxBatchKernel]":
-        bound = algs[0].rounds_bound
-        if any(a.rounds_bound != bound for a in algs):
-            return None
-        if not all(_eligible_int(a.best) for a in algs):
-            return None
-        best = np.array([a.best for a in algs], dtype=np.int64)
-        return cls(algs, best, bound)
-
-    def compose(self, ctx: BatchContext
-                ) -> Tuple[Optional[np.ndarray], np.ndarray]:
-        return None, int_payload_bits(self._best)
-
-    def deliver(self, ctx: BatchContext, csr: Any,
-                sender_mask: Optional[np.ndarray]) -> Tuple[bool, Events]:
-        gathered = self._best[csr.indices]
-        new = self._best.copy()
-        segment_reduce(np.maximum, gathered, csr.indptr, new)
-        changed = new > self._best
-        self._best = new
-        self.changed_last = changed
-        events: Events = []
-        if ctx.round_index >= self.rounds_bound:
-            best = self._best.tolist()
-            for i in range(self.n):
-                events.append(("decide", i, best[i]))
-                events.append(("halt", i, None))
-            self.decided[:] = True
-        return bool(changed.any()), events
-
-    def finalize(self, nodes: Sequence[Any]) -> None:
-        best = self._best.tolist()
-        changed = self.changed_last.tolist()
-        for i, node in enumerate(nodes):
-            node.best = best[i]
-            node._state_changed = changed[i]
-
-
-class FloodTokenBatchKernel(BatchKernel):
-    """Boolean-OR reach kernel for epidemic token dissemination."""
-
-    def __init__(self, algs: Sequence[Any], informed: np.ndarray) -> None:
-        self._algs = list(algs)
-        self.n = len(algs)
-        self._informed = informed
-        self.decided = informed.copy()
-        self.changed_last = np.array([a._state_changed for a in algs],
-                                     dtype=bool)
-        self._ones = np.ones(self.n, dtype=np.int64)
-
-    @classmethod
-    def build(cls, algs: Sequence[Any]) -> "Optional[FloodTokenBatchKernel]":
-        # A token node is decided exactly when informed; anything else
-        # means hand-modified state the kernel cannot represent.
-        if any(bool(a.informed) != bool(a._decided) for a in algs):
-            return None
-        informed = np.array([a.informed for a in algs], dtype=bool)
-        return cls(algs, informed)
-
-    def compose(self, ctx: BatchContext
-                ) -> Tuple[Optional[np.ndarray], np.ndarray]:
-        return self._informed, self._ones
-
-    def deliver(self, ctx: BatchContext, csr: Any,
-                sender_mask: Optional[np.ndarray]) -> Tuple[bool, Events]:
-        heard = segment_counts(self._informed, csr.indptr, csr.indices)
-        newly = ~self._informed & (heard > 0)
-        events: Events = []
-        if newly.any():
-            self._informed = self._informed | newly
-            self.decided |= newly
-            for i in np.nonzero(newly)[0].tolist():
-                events.append(("decide", i, True))
-        self.changed_last = newly
-        return bool(newly.any()), events
-
-    def finalize(self, nodes: Sequence[Any]) -> None:
-        informed = self._informed.tolist()
-        changed = self.changed_last.tolist()
-        for i, node in enumerate(nodes):
-            node.informed = informed[i]
-            node._state_changed = changed[i]
-
-
-class FloodBroadcastBatchKernel(BatchKernel):
-    """Min-source-id reach kernel for the known-bound broadcast baseline."""
-
-    def __init__(self, algs: Sequence[Any], sid: np.ndarray,
-                 payload_by_sid: Dict[int, tuple],
-                 bits_by_sid: Dict[int, int], rounds_bound: int) -> None:
-        self._algs = list(algs)
-        self.n = len(algs)
-        self.rounds_bound = rounds_bound
-        self._sid = sid                      # int64; _INT_SENTINEL == no payload
-        self._payload_by_sid = payload_by_sid  # preserves tuple identity
-        self._bits_by_sid = bits_by_sid
-        self._bits = np.array([bits_by_sid.get(s, 0) for s in sid.tolist()],
-                              dtype=np.int64)
-        self.decided = np.array([a._decided for a in algs], dtype=bool)
-        self.changed_last = np.array([a._state_changed for a in algs],
-                                     dtype=bool)
-
-    @classmethod
-    def build(cls, algs: Sequence[Any],
-              id_bits: int) -> "Optional[FloodBroadcastBatchKernel]":
-        bound = algs[0].rounds_bound
-        if any(a.rounds_bound != bound for a in algs):
-            return None
-        sid = np.full(len(algs), _INT_SENTINEL, dtype=np.int64)
-        payload_by_sid: Dict[int, tuple] = {}
-        bits_by_sid: Dict[int, int] = {}
-        for i, alg in enumerate(algs):
-            best = alg.best
-            if best is None:
-                continue
-            source = int(best[0])
-            if not -2 ** 62 < source < 2 ** 62:
-                return None
-            sid[i] = source
-            if source not in payload_by_sid:
-                payload_by_sid[source] = best
-                try:
-                    bits_by_sid[source] = bit_size(best, id_bits)
-                    # The per-node path compares (source, payload) tuples
-                    # and raises for unorderable payloads when the same
-                    # source is heard twice; mirror by refusing them.
-                    best < best
-                except TypeError:
-                    return None  # per-node path defines the behaviour
-        return cls(algs, sid, payload_by_sid, bits_by_sid, bound)
-
-    def compose(self, ctx: BatchContext
-                ) -> Tuple[Optional[np.ndarray], np.ndarray]:
-        return self._sid != _INT_SENTINEL, self._bits
-
-    def deliver(self, ctx: BatchContext, csr: Any,
-                sender_mask: Optional[np.ndarray]) -> Tuple[bool, Events]:
-        gathered = self._sid[csr.indices]
-        new = self._sid.copy()
-        segment_reduce(np.minimum, gathered, csr.indptr, new)
-        changed = new < self._sid
-        if changed.any():
-            self._sid = new
-            bits_by_sid = self._bits_by_sid
-            for i in np.nonzero(changed)[0].tolist():
-                self._bits[i] = bits_by_sid[int(new[i])]
-        self.changed_last = changed
-        events: Events = []
-        if ctx.round_index >= self.rounds_bound:
-            payload_by_sid = self._payload_by_sid
-            sid = self._sid.tolist()
-            for i in range(self.n):
-                best = payload_by_sid.get(sid[i])
-                events.append(("decide", i,
-                               None if best is None else best[1]))
-                events.append(("halt", i, None))
-            self.decided[:] = True
-        return bool(changed.any()), events
-
-    def finalize(self, nodes: Sequence[Any]) -> None:
-        payload_by_sid = self._payload_by_sid
-        sid = self._sid.tolist()
-        changed = self.changed_last.tolist()
-        for i, node in enumerate(nodes):
-            node.best = payload_by_sid.get(sid[i])
-            node._state_changed = changed[i]

@@ -30,17 +30,25 @@ Stop conditions
 
 Engines
 -------
-Three dispatch tiers produce **identical** :class:`RunResult`\\ s
-(golden-equivalence tested across topologies × algorithms × loss rates):
+Execution is delegated to pluggable **engine backends** (see
+:mod:`repro.simnet.backends`): each backend declares its capabilities as
+a frozen record, and the negotiator matches those declarations against
+the run's requirements — message loss, tracing, ``stop_when``
+predicates, strict bandwidth, schedule shape — producing the candidate
+chain plus a structured :class:`~repro.simnet.backends.base.CapabilityDiff`
+for every tier passed over (surfaced through ``engine_tier``
+observability events).  All backends produce **identical**
+:class:`RunResult`\\ s (golden-equivalence tested across topologies ×
+algorithms × loss rates).  The built-in tiers:
 
-* **batch kernels** — when every node is an instance of one algorithm
-  class exposing the ``__batch_kernel__`` hook (see
-  :mod:`repro.simnet.batch`), :meth:`Simulator.run` executes whole
-  rounds as NumPy segment-reduces over the CSR adjacency, with
-  decisions/halts/metrics reconciled from the arrays.  Engaged only
-  under ``engine="fast"`` and only for observable-free runs (no trace,
-  no loss, no strict bandwidth, no ``stop_when`` predicate, no adaptive
-  schedule); anything else falls through to the next tier.
+* **batch kernels** (overlay) — when every node is an instance of one
+  algorithm class exposing the ``__batch_kernel__`` hook (see
+  :mod:`repro.simnet.backends.batch`), whole rounds execute as NumPy
+  segment-reduces over the CSR adjacency, with decisions/halts/metrics
+  reconciled from the arrays.  Message loss is handled natively via a
+  vectorised per-edge Bernoulli delivery view; trace recorders, strict
+  bandwidth, ``stop_when`` predicates, and adaptive schedules negotiate
+  down to the next tier.
 * ``engine="fast"`` (default) — consumes the schedule's interval-aware
   CSR adjacency (see :meth:`repro.dynamics.GraphSchedule.adjacency`),
   tracks the non-halted *active set* incrementally so per-round work is
@@ -48,9 +56,15 @@ Three dispatch tiers produce **identical** :class:`RunResult`\\ s
   live degrees vectorised over the CSR.  Schedules that expose only the
   minimal :class:`ScheduleLike` duck type (no ``adjacency``) fall back
   to the reference engine transparently.  ``engine="fast-nobatch"``
-  selects this tier while disabling the batch-kernel dispatch.
+  selects this tier while disabling the batch-kernel overlay.
 * ``engine="reference"`` — the straightforward per-node loops, kept as
   the executable specification the other tiers are tested against.
+
+Third-party backends registered with
+:func:`repro.simnet.backends.register_backend` are accepted by
+``Simulator(engine=<name>)`` (and the CLIs' ``--engine``) without any
+engine changes; the built-in non-overlay tiers remain as negotiated
+fallbacks for runs the named backend declines.
 
 Profiling
 ---------
@@ -84,16 +98,16 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tupl
 import numpy as np
 
 from .._validate import require_choice, require_positive_int
-from ..errors import BandwidthExceededError, ConfigurationError, NotTerminatedError
+from ..errors import ConfigurationError, NotTerminatedError
 from ..obs import events as obs_events
 from ..obs.recorder import Recorder
-from .batch import (BatchContext, build_batch_kernel,
-                    describe_batch_ineligibility)
+from .backends import available_engines, negotiate
+from .backends.base import CapabilityDiff, EngineBackend, missing_requirements
 from .message import bit_size
 from .metrics import MetricsCollector, RunMetrics
 from .node import Algorithm, RoundContext
 from .rng import RngRegistry
-from .trace import TraceEvent, TraceRecorder
+from .trace import TraceRecorder
 
 __all__ = ["Simulator", "RunResult", "ScheduleLike",
            "set_profile_default", "profile_default",
@@ -102,31 +116,50 @@ __all__ = ["Simulator", "RunResult", "ScheduleLike",
 #: Phase names of the per-round profiling breakdown, in execution order.
 PHASES = ("compose", "reveal", "deliver", "drain")
 
-#: Engine dispatch tiers, in preference order.
+#: Built-in engine dispatch tiers, in preference order.  Kept as the
+#: stable key set of per-run tier accounting; the authoritative list of
+#: selectable engines is :func:`repro.simnet.backends.available_engines`.
 ENGINE_TIERS = ("batch", "fast", "reference")
-
-_ENGINE_CHOICES = ("fast", "fast-nobatch", "reference")
 
 _PROFILE_DEFAULT = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
 
-_ENGINE_DEFAULT = os.environ.get("REPRO_ENGINE", "") or "fast"
+#: Process default installed by :func:`set_engine_default`; ``None``
+#: means "no setter call yet" and resolves to ``"fast"``.
+_ENGINE_DEFAULT: Optional[str] = None
 
 
 def set_engine_default(engine: str) -> None:
     """Set the process-wide default for ``Simulator(engine=None)``.
 
     The harness CLI's ``--engine`` flag calls this before running
-    experiments (same pattern as :func:`set_profile_default`); the
-    ``REPRO_ENGINE`` environment variable seeds the initial value.
+    experiments (same pattern as :func:`set_profile_default`).
+
+    Precedence: a non-empty ``REPRO_ENGINE`` environment variable
+    **wins over** this setter — :func:`engine_default` reads the
+    environment on every call, so an operator's env pin survives any
+    in-process configuration.  Unset (or empty) ``REPRO_ENGINE`` defers
+    to the value installed here.
     """
     global _ENGINE_DEFAULT
-    require_choice(engine, "engine", _ENGINE_CHOICES)
+    require_choice(engine, "engine", available_engines())
     _ENGINE_DEFAULT = engine
+    env = os.environ.get("REPRO_ENGINE", "")
+    # Env-wins is a documented invariant; fail loudly if it regresses.
+    assert engine_default() == (env or engine), (
+        "REPRO_ENGINE must take precedence over set_engine_default()")
 
 
 def engine_default() -> str:
-    """Current process-wide engine default."""
-    return _ENGINE_DEFAULT
+    """Current process-wide engine default.
+
+    A non-empty ``REPRO_ENGINE`` environment variable always wins;
+    otherwise the value installed by :func:`set_engine_default`, falling
+    back to ``"fast"``.
+    """
+    env = os.environ.get("REPRO_ENGINE", "")
+    if env:
+        return env
+    return _ENGINE_DEFAULT if _ENGINE_DEFAULT is not None else "fast"
 
 
 def set_profile_default(enabled: bool) -> None:
@@ -272,8 +305,8 @@ class Simulator:
         if bandwidth_bits is not None:
             require_positive_int(bandwidth_bits, "bandwidth_bits")
         if engine is None:
-            engine = _ENGINE_DEFAULT
-        require_choice(engine, "engine", _ENGINE_CHOICES)
+            engine = engine_default()
+        require_choice(engine, "engine", available_engines())
         if engine == "fast-nobatch":
             engine = "fast"
             batch_kernels = False
@@ -305,14 +338,6 @@ class Simulator:
         # survive cache pressure.
         self._bits_cache: Dict[int, Tuple[Any, int]] = {}
         self._bits_cache_cap = max(64, 4 * n)
-        # The fast path needs the schedule's CSR adjacency; minimal
-        # ScheduleLike implementations fall back to the reference loops.
-        self._engine_demotion: Optional[str] = None
-        if engine == "fast" and getattr(schedule, "adjacency", None) is None:
-            engine = "reference"
-            self._engine_demotion = ("schedule exposes no CSR adjacency; "
-                                     "using the reference loops")
-        self.engine = engine
         if profile is None:
             profile = _PROFILE_DEFAULT
         self.profile = bool(profile)
@@ -335,35 +360,50 @@ class Simulator:
         bind = getattr(schedule, "bind", None)
         if bind is not None:
             bind(self.nodes)
-        # Batch-kernel dispatch: statically eligible only when nothing can
-        # observe per-node phase internals the kernels do not reproduce —
-        # trace events, per-delivery loss draws (the shared loss stream is
-        # consumed in inbox order), mid-phase strict-bandwidth raises, and
-        # adaptive schedules that read node state between phases.  The
-        # remaining (per-run) conditions are checked in
-        # _maybe_activate_batch when run() starts.  Each failed condition
-        # contributes a reason string, surfaced through EngineTierEvents
-        # when a recorder is attached.
+        # Engine-backend negotiation (see repro.simnet.backends): the
+        # run's *static* requirements — knowable at construction time —
+        # are matched against every registered backend's capability
+        # declaration.  Each tier that cannot serve the run is declined
+        # with a structured CapabilityDiff (surfaced through
+        # EngineTierEvents when a recorder is attached); the survivors
+        # form the candidate chain run() engages in priority order.
+        # Dynamic, per-run() requirements — a stop_when predicate, a
+        # pre-halted population, a custom metrics override, the batch
+        # tier's population-kernel probe — are negotiated when run()
+        # starts.
         self.batch_kernels = bool(batch_kernels)
-        static_reasons = []
-        if self.engine != "fast":
-            static_reasons.append(f"engine={self.engine!r}")
-        if not self.batch_kernels:
-            static_reasons.append("batch kernels disabled")
+        requirements: Dict[str, str] = {}
         if trace is not None:
-            static_reasons.append("trace recorder attached")
+            requirements["trace"] = "trace recorder attached"
         if self.loss_rate != 0.0:
-            static_reasons.append("loss_rate > 0")
+            requirements["loss"] = "loss_rate > 0"
         if self.strict_bandwidth and bandwidth_bits is not None:
-            static_reasons.append("strict bandwidth budget")
+            requirements["strict-bandwidth"] = "strict bandwidth budget"
         if bind is not None:
-            static_reasons.append("adaptive schedule binds node state")
-        self._batch_enabled = not static_reasons
+            requirements["adaptive-schedule"] = (
+                "adaptive schedule binds node state")
+        if getattr(schedule, "adjacency", None) is None:
+            requirements["adjacency-free-schedule"] = (
+                "schedule exposes no CSR adjacency")
+        if recorder is not None:
+            requirements["recorder"] = "event recorder attached"
+        self._requirements = requirements
+        self._negotiation = negotiate(engine, requirements,
+                                      batch_kernels=self.batch_kernels)
+        self._base_backend: EngineBackend = self._negotiation.base
+        self._active_backend: EngineBackend = self._base_backend
+        #: Name of the persistent (non-overlay) tier; overlay tiers such
+        #: as the batch kernels engage on top of it during run().
+        self.engine = self._base_backend.name
+        batch_declines = [d for d in self._negotiation.declined
+                          if d.backend == "batch"]
+        self._batch_enabled = any(
+            b.name == "batch" for b in self._negotiation.candidates)
         self._batch_reason: Optional[str] = (
-            "; ".join(static_reasons) if static_reasons else None)
+            "; ".join(d.render() for d in batch_declines) or None)
         self._batch_live = False
         self._batch_kernel: Optional[Any] = None
-        self._batch_ctx: Optional[BatchContext] = None
+        self._batch_ctx: Optional[Any] = None
         self._batch_pending: Optional[List[Tuple[int, List[tuple]]]] = None
         #: Rounds executed per dispatch tier (surfaced via
         #: RunMetrics.engine_stats when profiling).
@@ -401,6 +441,31 @@ class Simulator:
 
             self._payload_bits = _counted_payload_bits  # type: ignore[method-assign]
 
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Per-cache hit/miss counters of this run (recorded runs only).
+
+        Flat ``{"adjacency_hits": ..., "adjacency_misses": ...,
+        "payload_bits_hits": ..., "payload_bits_misses": ...}`` — the
+        same numbers the end-of-run ``CacheEvent`` stream carries,
+        shaped for ``cache.*`` result-row columns.  ``None`` when no
+        recorder is attached (the unrecorded hot path tallies nothing).
+        """
+        if self.recorder is None:
+            return None
+        stats: Dict[str, int] = {}
+        adj_stats = getattr(self.schedule, "adjacency_stats", None)
+        if adj_stats is not None:
+            base = self._adj_stats_base or {}
+            delta = {key: adj_stats[key] - base.get(key, 0)
+                     for key in adj_stats}
+            stats["adjacency_hits"] = (delta.get("span_hits", 0)
+                                       + delta.get("fingerprint_hits", 0))
+            stats["adjacency_misses"] = delta.get("builds", 0)
+        if self._bits_stats is not None:
+            stats["payload_bits_hits"] = self._bits_stats["hits"]
+            stats["payload_bits_misses"] = self._bits_stats["misses"]
+        return stats
+
     # -- payload costing -----------------------------------------------------
 
     def _payload_bits(self, payload: Any) -> int:
@@ -432,16 +497,11 @@ class Simulator:
             self._step_recorded(self.recorder)
 
     def _step_inner(self) -> None:
-        """One round via whichever dispatch tier is live."""
-        if self._batch_live:
-            self._tier_rounds["batch"] += 1
-            self._step_batch()
-        elif self.engine == "fast":
-            self._tier_rounds["fast"] += 1
-            self._step_fast()
-        else:
-            self._tier_rounds["reference"] += 1
-            self._step_reference()
+        """One round via whichever negotiated backend is live."""
+        backend = self._active_backend
+        tiers = self._tier_rounds
+        tiers[backend.name] = tiers.get(backend.name, 0) + 1
+        backend.run_round(self)
 
     def _step_recorded(self, rec: Recorder) -> None:
         """One round with the observability stream attached.
@@ -461,9 +521,8 @@ class Simulator:
         prev_msgs = metrics.delivered_messages
         prev_dbits = metrics.delivered_bits
         prev_decisions = dict(metrics._decision_rounds)
-        was_batch = self._batch_live
-        tier = ("batch" if was_batch
-                else "fast" if self.engine == "fast" else "reference")
+        was_backend = self._active_backend
+        tier = was_backend.name
 
         self._step_inner()
 
@@ -496,571 +555,69 @@ class Simulator:
                 halted_seen.add(node.node_id)
                 rec.emit(obs_events.DecisionEvent(
                     round=r, node_id=node.node_id, action="halt"))
-        if was_batch and not self._batch_live:
+        if was_backend is not self._active_backend:
+            # An overlay tier retired mid-round (e.g. the batch kernel
+            # on the first halt event) back to the persistent backend.
+            reason = ("halt event deactivated the batch kernel"
+                      if was_backend.name == "batch"
+                      else f"halt event deactivated the "
+                           f"{was_backend.name} backend")
+            diff = CapabilityDiff(backend=was_backend.name,
+                                  missing=("mid-run-halt",), detail=reason)
             rec.emit(obs_events.EngineTierEvent(
-                round=r, tier="fast", action="fallback",
-                reason="halt event deactivated the batch kernel"))
+                round=r, tier=self._active_backend.name, action="fallback",
+                reason=reason, declined=[diff.to_payload()]))
 
-    def _step_reference(self) -> None:
-        """One round via the straightforward per-node loops (the spec)."""
-        self.round_index += 1
-        r = self.round_index
-        nodes = self.nodes
-        n = len(nodes)
-        trace = self.trace
-        prof = self._phase_seconds
-        if trace is not None:
-            trace.record(TraceEvent(r, "round", None))
+    # -- backend selection ----------------------------------------------------
 
-        # Phase 1: compose (graph not yet revealed to nodes).
-        t0 = perf_counter() if prof is not None else 0.0
-        payloads: List[Any] = [None] * n
-        for i in range(n):
-            node = nodes[i]
-            if node.halted:
-                continue
-            ctx = RoundContext(r, self._node_rngs[i], self.metrics.incr)
-            payloads[i] = node.compose(ctx)
+    def _select_backends(self, stop_when: Optional[Callable]
+                         ) -> List[CapabilityDiff]:
+        """Finish negotiation with this run()'s dynamic requirements.
 
-        # Phase 2: reveal the round's graph and account for transmissions.
-        if prof is not None:
-            t1 = perf_counter()
-            prof["compose"] += t1 - t0
-            t0 = t1
-        neighbors = self.schedule.neighbors(r)
-        halted = [node.halted for node in nodes]
-        for i in range(n):
-            payload = payloads[i]
-            if payload is None:
-                continue
-            bits = self._payload_bits(payload)
-            if self.bandwidth_bits is not None and bits > self.bandwidth_bits:
-                if self.strict_bandwidth:
-                    raise BandwidthExceededError(
-                        f"node {nodes[i].node_id} composed a {bits}-bit "
-                        f"message; budget is {self.bandwidth_bits} bits",
-                        node_id=nodes[i].node_id, bits=bits,
-                        limit=self.bandwidth_bits,
-                    )
-                self.metrics.incr("bandwidth_overflows")
-            live_degree = sum(1 for j in neighbors[i] if not halted[j])
-            self.metrics.on_broadcast(bits, live_degree)
-            if trace is not None:
-                trace.record(TraceEvent(r, "broadcast", nodes[i].node_id, payload))
-
-        # Phase 3: deliver inboxes.
-        if prof is not None:
-            t1 = perf_counter()
-            prof["reveal"] += t1 - t0
-            t0 = t1
-        all_changed_false = True
-        loss_rng = self._loss_rng
-        loss_rate = self.loss_rate
-        for j in range(n):
-            node = nodes[j]
-            if node.halted:
-                continue
-            inbox = [
-                payloads[i] for i in neighbors[j]
-                if payloads[i] is not None and not halted[i]
-            ]
-            if loss_rng is not None and inbox:
-                kept = loss_rng.random(len(inbox)) >= loss_rate
-                dropped = len(inbox) - int(kept.sum())
-                if dropped:
-                    self.metrics.incr("messages_lost", dropped)
-                    inbox = [m for m, keep in zip(inbox, kept) if keep]
-            ctx = RoundContext(r, self._node_rngs[j], self.metrics.incr)
-            node.deliver(ctx, inbox)
-            if node.state_changed:
-                all_changed_false = False
-            # Phase 4: drain decision events.
-            for event in node._drain_events():
-                kind = event[0]
-                if kind == "decide":
-                    self.metrics.on_decision(node.node_id, r)
-                    if trace is not None:
-                        trace.record(TraceEvent(r, "decide", node.node_id, event[1]))
-                elif kind == "retract":
-                    self.metrics.on_retraction(node.node_id)
-                    if trace is not None:
-                        trace.record(TraceEvent(r, "retract", node.node_id))
-                elif kind == "halt":
-                    if trace is not None:
-                        trace.record(TraceEvent(r, "halt", node.node_id))
-        if prof is not None:
-            t1 = perf_counter()
-            prof["deliver"] += t1 - t0  # drain interleaved with delivery
-
-        self._quiescent_streak = (
-            self._quiescent_streak + 1 if all_changed_false else 0
-        )
-        self.metrics.on_round_executed()
-
-    def _step_fast(self) -> None:
-        """One round via the vectorized fast path.
-
-        Equivalent to :meth:`_step_reference` observable-for-observable:
-        same metrics, same trace event stream, same RNG consumption, same
-        node callback order.  The differences are purely mechanical —
-        iteration over the active set instead of ``range(n)``, one
-        reusable context per node, CSR adjacency shared across stable
-        T-interval windows, and live degrees computed vectorised.
+        The statically capable candidates are probed in priority order:
+        first against the generic dynamic requirements (a ``stop_when``
+        predicate inspecting run state, a population that already
+        contains halted nodes, an instance-level ``on_broadcast``
+        override), then through each backend's own :meth:`prepare` hook
+        (the batch tier builds its population kernel there).  The first
+        surviving overlay becomes the active backend on top of the first
+        surviving persistent tier; every decline is returned as a
+        structured diff for the ``engine_tier`` select event.
         """
-        self.round_index += 1
-        r = self.round_index
-        nodes = self.nodes
-        trace = self.trace
-        prof = self._phase_seconds
-        metrics = self.metrics
-        if trace is not None:
-            trace.record(TraceEvent(r, "round", None))
-
-        active = self._active
-        payloads = self._payloads
-        contexts = self._contexts
-        halted_mask = self._halted_mask
-
-        # Phase 1: compose (graph not yet revealed to nodes).
-        t0 = perf_counter() if prof is not None else 0.0
-        senders: List[int] = []
-        halted_in_compose = False
-        for i in active:
-            node = nodes[i]
-            ctx = contexts[i]
-            ctx.round_index = r
-            payload = node.compose(ctx)
-            payloads[i] = payload
-            if payload is not None:
-                senders.append(i)
-            if node._halted:
-                halted_mask[i] = True
-                halted_in_compose = True
-        if halted_in_compose:
-            self._any_halted = True
-
-        # Phase 2: reveal the round's graph and account for transmissions.
-        if prof is not None:
-            t1 = perf_counter()
-            prof["compose"] += t1 - t0
-            t0 = t1
-        csr = self.schedule.adjacency(r)
-        if (prof is None and trace is None and self.recorder is None
-                and not (self.strict_bandwidth
-                         and self.bandwidth_bits is not None)):
-            # Steady-state fused loop: phases 2-4 in one pass (see
-            # _finish_round_fused for why the results are identical).
-            # A recorder routes through the split phases like profiling
-            # does, so its payload-bits cache tally sees every lookup.
-            self._finish_round_fused(r, csr, senders, halted_in_compose)
-            return
-        if not self._any_halted:
-            live: List[int] = csr.degree_list()
-        else:
-            # live[i] = #non-halted neighbours of i, via a prefix sum over
-            # the CSR (reduceat mis-handles empty neighbour runs).
-            alive = ~halted_mask
-            cum = np.zeros(len(csr.indices) + 1, dtype=np.int64)
-            np.cumsum(alive[csr.indices], out=cum[1:])
-            live = (cum[csr.indptr[1:]] - cum[csr.indptr[:-1]]).tolist()
-        bandwidth_bits = self.bandwidth_bits
-        on_broadcast = metrics.on_broadcast
-        for i in senders:
-            payload = payloads[i]
-            bits = self._payload_bits(payload)
-            if bandwidth_bits is not None and bits > bandwidth_bits:
-                if self.strict_bandwidth:
-                    raise BandwidthExceededError(
-                        f"node {nodes[i].node_id} composed a {bits}-bit "
-                        f"message; budget is {bandwidth_bits} bits",
-                        node_id=nodes[i].node_id, bits=bits,
-                        limit=bandwidth_bits,
-                    )
-                metrics.incr("bandwidth_overflows")
-            on_broadcast(bits, live[i])
-            if trace is not None:
-                trace.record(TraceEvent(r, "broadcast", nodes[i].node_id, payload))
-
-        # Phase 3: deliver inboxes.
-        if prof is not None:
-            t1 = perf_counter()
-            prof["reveal"] += t1 - t0
-            t0 = t1
-        sendable = self._sendable
-        for i in senders:
-            if not halted_mask[i]:
-                sendable[i] = True
-        # When every node is live and broadcast, skip the per-neighbour
-        # sendability filter entirely (the common steady state).
-        all_send = not self._any_halted and len(senders) == len(active)
-        nlists = csr.neighbor_lists()
-        loss_rng = self._loss_rng
-        loss_rate = self.loss_rate
-        all_changed_false = True
-        delivered: List[int] = []
-        for j in active:
-            if halted_mask[j]:
-                continue  # halted during this round's compose
-            nbrs = nlists[j]
-            if all_send:
-                inbox = [payloads[k] for k in nbrs]
-            else:
-                inbox = [payloads[k] for k in nbrs if sendable[k]]
-            if loss_rng is not None and inbox:
-                kept = loss_rng.random(len(inbox)) >= loss_rate
-                dropped = len(inbox) - int(kept.sum())
-                if dropped:
-                    metrics.incr("messages_lost", dropped)
-                    inbox = [m for m, keep in zip(inbox, kept) if keep]
-            node = nodes[j]
-            node.deliver(contexts[j], inbox)
-            if node._state_changed:
-                all_changed_false = False
-            delivered.append(j)
-        for i in senders:
-            sendable[i] = False
-
-        # Phase 4: drain decision events.  Deliveries record no trace
-        # events themselves, so draining after the delivery loop yields
-        # the same event stream as the reference's interleaved drain.
-        if prof is not None:
-            t1 = perf_counter()
-            prof["deliver"] += t1 - t0
-            t0 = t1
-        on_decision = metrics.on_decision
-        halted_in_deliver = False
-        for j in delivered:
-            node = nodes[j]
-            events = node._events
-            if not events:
-                continue
-            node._events = []
-            node_id = node.node_id
-            for event in events:
-                kind = event[0]
-                if kind == "decide":
-                    on_decision(node_id, r)
-                    if trace is not None:
-                        trace.record(TraceEvent(r, "decide", node_id, event[1]))
-                elif kind == "retract":
-                    metrics.on_retraction(node_id)
-                    if trace is not None:
-                        trace.record(TraceEvent(r, "retract", node_id))
-                elif kind == "halt":
-                    halted_mask[j] = True
-                    halted_in_deliver = True
-                    if trace is not None:
-                        trace.record(TraceEvent(r, "halt", node_id))
-        if prof is not None:
-            prof["drain"] += perf_counter() - t0
-
-        if halted_in_compose or halted_in_deliver:
-            self._any_halted = True
-            self._active = [i for i in active if not halted_mask[i]]
-
-        self._quiescent_streak = (
-            self._quiescent_streak + 1 if all_changed_false else 0
-        )
-        metrics.on_round_executed()
-
-    def _finish_round_fused(self, r: int, csr: Any, senders: List[int],
-                            halted_in_compose: bool) -> None:
-        """Phases 2-4 of :meth:`_step_fast` fused into one active-set pass.
-
-        Valid only without tracing, profiling, or strict bandwidth: the
-        per-(node, round) metric updates are commutative sums, the loss
-        RNG is drawn only in the delivery phase (so interleaving the
-        accounting does not perturb the stream), and per-node drain order
-        is preserved — hence the final :class:`RunMetrics` are identical
-        to the split-phase loops, which remain in use whenever phase
-        boundaries are observable (trace events, per-phase timings, or a
-        mid-phase :class:`BandwidthExceededError`).
-        """
-        nodes = self.nodes
-        metrics = self.metrics
-        payloads = self._payloads
-        contexts = self._contexts
-        halted_mask = self._halted_mask
-        active = self._active
-        if not self._any_halted:
-            live: List[int] = csr.degree_list()
-        else:
-            alive = ~halted_mask
-            cum = np.zeros(len(csr.indices) + 1, dtype=np.int64)
-            np.cumsum(alive[csr.indices], out=cum[1:])
-            live = (cum[csr.indptr[1:]] - cum[csr.indptr[:-1]]).tolist()
-        sendable = self._sendable
-        all_send = not self._any_halted and len(senders) == len(active)
-        if all_send:
-            # Every neighbour's payload is delivered: gather the flat
-            # CSR-ordered payload list in one C-level pass, then each
-            # node's inbox is a plain slice of it.
-            flat_inbox = list(map(payloads.__getitem__, csr.indices_list()))
-            bounds = csr.indptr_list()
-            nlists = None
-        else:
-            for i in senders:
-                if not halted_mask[i]:
-                    sendable[i] = True
-            flat_inbox = bounds = None
-            nlists = csr.neighbor_lists()
-        loss_rng = self._loss_rng
-        loss_rate = self.loss_rate
-        bandwidth_bits = self.bandwidth_bits
-        # When on_broadcast has not been overridden on the instance, the
-        # per-sender sums are accumulated in locals and flushed once per
-        # round — same totals, ~N fewer calls per round.
-        aggregate = "on_broadcast" not in metrics.__dict__
-        on_broadcast = metrics.on_broadcast
-        on_decision = metrics.on_decision
-        bits_cache = self._bits_cache
-        n_bcast = sum_bits = n_msgs = sum_dbits = max_bits = 0
-        prev_payload = prev_bits = None
-        all_changed_false = True
-        halted_in_deliver = False
-        for j in active:
-            payload = payloads[j]
-            if payload is not None:
-                # Converged protocols broadcast one shared object from
-                # every node; the single-entry memo short-circuits the
-                # per-sender cache lookup in that steady state.
-                if payload is prev_payload:
-                    bits = prev_bits
-                else:
-                    entry = bits_cache.get(id(payload))
-                    if entry is not None and entry[0] is payload:
-                        bits = entry[1]
-                    else:
-                        bits = self._payload_bits(payload)
-                    prev_payload, prev_bits = payload, bits
-                if bandwidth_bits is not None and bits > bandwidth_bits:
-                    metrics.incr("bandwidth_overflows")
-                if aggregate:
-                    degree = live[j]
-                    n_bcast += 1
-                    n_msgs += degree
-                    sum_bits += bits
-                    sum_dbits += bits * degree
-                    if bits > max_bits:
-                        max_bits = bits
-                else:
-                    on_broadcast(bits, live[j])
-            if halted_in_compose and halted_mask[j]:
-                continue  # halted during this round's compose
-            if all_send:
-                inbox = flat_inbox[bounds[j]:bounds[j + 1]]
-            else:
-                inbox = [payloads[k] for k in nlists[j] if sendable[k]]
-            if loss_rng is not None and inbox:
-                kept = loss_rng.random(len(inbox)) >= loss_rate
-                dropped = len(inbox) - int(kept.sum())
-                if dropped:
-                    metrics.incr("messages_lost", dropped)
-                    inbox = [m for m, keep in zip(inbox, kept) if keep]
-            node = nodes[j]
-            node.deliver(contexts[j], inbox)
-            if node._state_changed:
-                all_changed_false = False
-            events = node._events
-            if events:
-                node._events = []
-                node_id = node.node_id
-                for event in events:
-                    kind = event[0]
-                    if kind == "decide":
-                        on_decision(node_id, r)
-                    elif kind == "retract":
-                        metrics.on_retraction(node_id)
-                    else:  # halt
-                        halted_mask[j] = True
-                        halted_in_deliver = True
-        if not all_send:
-            for i in senders:
-                sendable[i] = False
-        if aggregate and n_bcast:
-            metrics.broadcasts += n_bcast
-            metrics.delivered_messages += n_msgs
-            metrics.broadcast_bits += sum_bits
-            metrics.delivered_bits += sum_dbits
-            if max_bits > metrics.max_broadcast_bits:
-                metrics.max_broadcast_bits = max_bits
-
-        if halted_in_compose or halted_in_deliver:
-            self._any_halted = True
-            self._active = [i for i in active if not halted_mask[i]]
-
-        self._quiescent_streak = (
-            self._quiescent_streak + 1 if all_changed_false else 0
-        )
-        metrics.on_round_executed()
-
-    # -- batch-kernel tier ----------------------------------------------------
-
-    def _maybe_activate_batch(self, stop_when: Optional[Callable]) -> None:
-        """Enter batch mode for this run() if the population is eligible.
-
-        On top of the static ``_batch_enabled`` conditions: no user
-        predicate may inspect node state mid-run, ``on_broadcast`` must
-        not be overridden on the collector instance (the batch step
-        accumulates broadcast sums directly), and no node may have halted
-        (the kernels assume the all-alive steady state — the first halt
-        event deactivates back to the per-node path).  Pending decision
-        events (e.g. a ``FloodToken`` seed deciding in ``__init__``) are
-        captured here and replayed into metrics in the first batch step,
-        exactly when the per-node drain would surface them.
-        """
-        if not self._batch_enabled:
-            return
+        declined: List[CapabilityDiff] = list(self._negotiation.declined)
+        dynamic: Dict[str, str] = {}
         if stop_when is not None:
-            self._batch_reason = "stop_when predicate inspects run state"
-            return
+            dynamic["stop-when"] = "stop_when predicate inspects run state"
         if self._any_halted:
-            self._batch_reason = "population already contains halted nodes"
-            return
+            dynamic["pre-halted"] = "population already contains halted nodes"
         if "on_broadcast" in self.metrics.__dict__:
-            self._batch_reason = "custom on_broadcast metrics override"
-            return
-        kernel = build_batch_kernel(self.nodes, self.id_bits)
-        if kernel is None:
-            self._batch_reason = describe_batch_ineligibility(self.nodes)
-            return
-        self._batch_reason = None
-        pending: List[Tuple[int, List[tuple]]] = []
-        for i, node in enumerate(self.nodes):
-            if node._events:
-                pending.append((i, node._events))
-                node._events = []
-        self._batch_kernel = kernel
-        self._batch_pending = pending
-        self._batch_ctx = BatchContext(
-            self.round_index, self._node_rngs, self.metrics.incr)
-        self._batch_live = True
-
-    def _deactivate_batch(self) -> None:
-        """Leave batch mode, restoring full per-node state (idempotent)."""
-        if not self._batch_live:
-            return
-        self._batch_live = False
-        kernel = self._batch_kernel
-        self._batch_kernel = None
-        self._batch_ctx = None
-        pending = self._batch_pending
-        self._batch_pending = None
-        if pending:
-            # Never replayed (zero batch rounds ran): hand the events
-            # back to the per-node drain.
-            for i, events in pending:
-                node = self.nodes[i]
-                node._events = events + node._events
-        kernel.finalize(self.nodes)
-
-    def _step_batch(self) -> None:
-        """One round via the population's batch kernel.
-
-        Equivalent to :meth:`_step_fast` observable-for-observable for
-        eligible runs: identical metrics (broadcast sums are commutative
-        and per-round; decision/counter dicts are order-insensitive),
-        identical per-node RNG consumption (kernels draw from each
-        node's private stream in ascending node order, and streams are
-        independent across nodes), and no trace/loss/strict-bandwidth
-        observables by eligibility.
-        """
-        self.round_index += 1
-        r = self.round_index
-        kernel = self._batch_kernel
-        ctx = self._batch_ctx
-        ctx.round_index = r
-        metrics = self.metrics
-        prof = self._phase_seconds
-
-        # Phase 1: compose.
-        t0 = perf_counter() if prof is not None else 0.0
-        mask, bits = kernel.compose(ctx)
-
-        # Phase 2: reveal + transmission accounting (vectorised).
-        if prof is not None:
-            t1 = perf_counter()
-            prof["compose"] += t1 - t0
-            t0 = t1
-        csr = self.schedule.adjacency(r)
-        degrees = csr.degrees()
-        if mask is None:
-            n_bcast = len(self.nodes)
-            sender_bits = bits
-            sender_degrees = degrees
-        else:
-            n_bcast = int(mask.sum())
-            sender_bits = bits[mask]
-            sender_degrees = degrees[mask]
-        if n_bcast:
-            metrics.broadcasts += n_bcast
-            metrics.delivered_messages += int(sender_degrees.sum())
-            metrics.broadcast_bits += int(sender_bits.sum())
-            metrics.delivered_bits += int(sender_bits @ sender_degrees)
-            max_bits = int(sender_bits.max())
-            if max_bits > metrics.max_broadcast_bits:
-                metrics.max_broadcast_bits = max_bits
-            bandwidth_bits = self.bandwidth_bits
-            if bandwidth_bits is not None:
-                over = int((sender_bits > bandwidth_bits).sum())
-                if over:
-                    metrics.incr("bandwidth_overflows", over)
-
-        # Phase 3: deliver (one segment-reduce over the CSR).
-        if prof is not None:
-            t1 = perf_counter()
-            prof["reveal"] += t1 - t0
-            t0 = t1
-        changed_any, events = kernel.deliver(ctx, csr, mask)
-
-        # Phase 4: drain — replay captured pre-run events, then reconcile
-        # this round's decide/retract/halt events onto the node objects.
-        if prof is not None:
-            t1 = perf_counter()
-            prof["deliver"] += t1 - t0
-            t0 = t1
-        nodes = self.nodes
-        pending = self._batch_pending
-        if pending:
-            self._batch_pending = None
-            for i, node_events in pending:
-                node_id = nodes[i].node_id
-                for event in node_events:
-                    kind = event[0]
-                    if kind == "decide":
-                        metrics.on_decision(node_id, r)
-                    elif kind == "retract":
-                        metrics.on_retraction(node_id)
-        halted_any = False
-        halted_mask = self._halted_mask
-        for kind, i, value in events:
-            node = nodes[i]
-            if kind == "decide":
-                node._decided = True
-                node._output = value
-                metrics.on_decision(node.node_id, r)
-            elif kind == "retract":
-                node._decided = False
-                node._output = None
-                metrics.on_retraction(node.node_id)
-            else:  # halt
-                node._halted = True
-                halted_mask[i] = True
-                halted_any = True
-        if prof is not None:
-            prof["drain"] += perf_counter() - t0
-
-        if halted_any:
-            self._any_halted = True
-            self._active = [
-                i for i in self._active if not halted_mask[i]]
-            # The kernels assume every node is alive; fall back to the
-            # per-node fast path for whatever rounds remain.
-            self._deactivate_batch()
-
-        self._quiescent_streak = (
-            0 if changed_any else self._quiescent_streak + 1)
-        metrics.on_round_executed()
+            dynamic["custom-metrics"] = "custom on_broadcast metrics override"
+        active: Optional[EngineBackend] = None
+        base: Optional[EngineBackend] = None
+        for backend in self._negotiation.candidates:
+            missing = missing_requirements(backend.capabilities, dynamic)
+            diff = (CapabilityDiff(backend=backend.name, missing=missing)
+                    if missing else backend.prepare(self, stop_when))
+            if diff is not None:
+                declined.append(diff)
+                if backend.overlay:
+                    # Compatibility mirror of the historical attribute.
+                    self._batch_reason = diff.render()
+                continue
+            if active is None:
+                active = backend
+            if not backend.overlay:
+                base = backend
+                break
+        if base is None:
+            posed = "; ".join(d.render() for d in declined) or "no reason"
+            raise ConfigurationError(
+                f"engine {self._negotiation.engine!r}: every negotiated "
+                f"backend declined this run ({posed})")
+        self._base_backend = base
+        self._active_backend = active if active is not None else base
+        self.engine = base.name
+        return declined
 
     # -- stop-condition helpers ----------------------------------------------
 
@@ -1096,19 +653,27 @@ class Simulator:
         require_positive_int(quiescence_window, "quiescence_window")
 
         stop_reason = "max_rounds"
-        self._maybe_activate_batch(stop_when)
+        declined = self._select_backends(stop_when)
         rec = self.recorder
         if rec is not None:
-            if self._batch_live:
-                tier, reason = "batch", "population batch kernel engaged"
+            chosen = self._active_backend
+            if chosen.overlay:
+                reason = ("population batch kernel engaged"
+                          if chosen.name == "batch"
+                          else f"{chosen.name} backend engaged")
             else:
-                tier = "fast" if self.engine == "fast" else "reference"
-                parts = [p for p in (self._engine_demotion,
-                                     self._batch_reason) if p]
-                reason = "; ".join(parts)
+                # Order-preserving dedup: pinned aliases decline several
+                # tiers with the same clause.
+                clauses: List[str] = []
+                for diff in declined:
+                    clause = diff.render()
+                    if clause not in clauses:
+                        clauses.append(clause)
+                reason = "; ".join(clauses)
             rec.emit(obs_events.EngineTierEvent(
-                round=self.round_index, tier=tier, action="select",
-                reason=reason))
+                round=self.round_index, tier=chosen.name, action="select",
+                reason=reason,
+                declined=[d.to_payload() for d in declined] or None))
         try:
             while self.round_index < max_rounds:
                 self.step()
@@ -1129,10 +694,11 @@ class Simulator:
                         stop_reason = "quiescent"
                         break
         finally:
-            # Whatever happens, node objects must reflect the kernel's
+            # Whatever happens, node objects must reflect the backend's
             # state before anyone (including the error path below, or a
-            # later run() call) inspects them.
-            self._deactivate_batch()
+            # later run() call) inspects them.  reconcile() is idempotent;
+            # an overlay that retired mid-run already reconciled itself.
+            self._active_backend.reconcile(self)
 
         if rec is not None:
             adj_stats = getattr(self.schedule, "adjacency_stats", None)
@@ -1160,8 +726,9 @@ class Simulator:
                 rounds=self.round_index, stop_reason=stop_reason,
                 broadcast_bits=self.metrics.broadcast_bits,
                 delivered_messages=self.metrics.delivered_messages,
-                batch_rounds=tiers["batch"], fast_rounds=tiers["fast"],
-                reference_rounds=tiers["reference"]))
+                batch_rounds=tiers.get("batch", 0),
+                fast_rounds=tiers.get("fast", 0),
+                reference_rounds=tiers.get("reference", 0)))
 
         if stop_reason == "max_rounds" and not allow_timeout:
             undecided = tuple(
